@@ -1,0 +1,42 @@
+# delprop — build, test and experiment targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure/theorem experiment (E1..E18).
+experiments:
+	$(GO) run ./cmd/benchrunner
+
+fuzz:
+	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/cq/
+	$(GO) test -run=FuzzParseDatabase -fuzz=FuzzParseDatabase -fuzztime=30s ./internal/textio/
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,46 @@
+// Command benchrunner regenerates the paper's tables, figures and theorem
+// validations (experiments E1–E18 of DESIGN.md).
+//
+// Usage:
+//
+//	benchrunner            # run every experiment
+//	benchrunner -exp E8    # run one experiment
+//	benchrunner -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delprop/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by ID (E1..E18)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Artifact)
+		}
+		return
+	}
+	run := bench.All()
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		run = []bench.Experiment{e}
+	}
+	for _, e := range run {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Artifact)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

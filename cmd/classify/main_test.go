@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestClassifyEndToEnd(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(filepath.Join("testdata", "db.txt"), filepath.Join("testdata", "queries.dl"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q3 is not key-preserving; Q4 is.
+	if !strings.Contains(out, "key-preserving=false") || !strings.Contains(out, "key-preserving=true") {
+		t.Errorf("key-preserving flags missing:\n%s", out)
+	}
+	// Both queries use the same relations {T1, T2}: the dual hypergraph
+	// (two identical edges) is a hypertree, but Q3 breaks the
+	// all-key-preserving requirement, so the multi-query class is
+	// unknown.
+	if !strings.Contains(out, "all key-preserving=false") {
+		t.Errorf("multi-query section wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown") {
+		t.Errorf("expected unknown class:\n%s", out)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if err := run("nope", filepath.Join("testdata", "queries.dl")); err == nil {
+		t.Error("missing db accepted")
+	}
+	if err := run(filepath.Join("testdata", "db.txt"), "nope"); err == nil {
+		t.Error("missing queries accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command delprop solves a deletion-propagation instance: given a database
+// file, a query program and a deletion request, it computes a source
+// deletion ΔD minimizing the view side-effect with the chosen algorithm and
+// prints the deletion and its evaluation.
+//
+// Usage:
+//
+//	delprop -db db.txt -queries q.dl -delete del.txt [-solver red-blue] [-balanced]
+//
+// Solvers: greedy, red-blue, red-blue-exact, primal-dual, low-deg,
+// dp-tree, brute-force, single-exact, balanced-red-blue, balanced-exact,
+// auto (classification-driven default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delprop/internal/classify"
+	"delprop/internal/core"
+	"delprop/internal/cq"
+	"delprop/internal/server"
+	"delprop/internal/textio"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (textio format)")
+	qPath := flag.String("queries", "", "datalog query program")
+	dPath := flag.String("delete", "", "deletion request file")
+	solverName := flag.String("solver", "auto", "algorithm to run")
+	balanced := flag.Bool("balanced", false, "report the balanced objective")
+	explain := flag.Bool("explain", false, "print each query's join plan")
+	flag.Parse()
+
+	if *dbPath == "" || *qPath == "" || *dPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dbPath, *qPath, *dPath, *solverName, *balanced, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "delprop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error {
+	dbSrc, err := os.ReadFile(dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := textio.ParseDatabase(string(dbSrc))
+	if err != nil {
+		return err
+	}
+	qSrc, err := os.ReadFile(qPath)
+	if err != nil {
+		return err
+	}
+	queries, err := cq.ParseProgram(string(qSrc))
+	if err != nil {
+		return err
+	}
+	dSrc, err := os.ReadFile(dPath)
+	if err != nil {
+		return err
+	}
+	delta, err := textio.ParseDeletions(string(dSrc), queries)
+	if err != nil {
+		return err
+	}
+	p, err := core.NewProblem(db, queries, delta)
+	if err != nil {
+		return err
+	}
+
+	if explain {
+		for _, q := range queries {
+			plan, err := cq.ExplainPlan(q, db)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("plan for %s:\n%s", q.Name, plan)
+		}
+	}
+	res, err := classify.MultiQuery(queries, cq.InstanceSchemas(db))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: |D|=%d, %d queries, ‖V‖=%d, ‖ΔV‖=%d, key-preserving=%v\n",
+		db.Size(), len(queries), p.TotalViewSize(), p.Delta.Len(), p.IsKeyPreserving())
+	fmt.Printf("classification: %s\n", res.Class)
+	for _, g := range res.Guarantees {
+		fmt.Printf("  - %s\n", g)
+	}
+
+	solver, err := pickSolver(solverName, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solver: %s\n", solver.Name())
+	sol, err := solver.Solve(p)
+	if err != nil {
+		return err
+	}
+	rep := p.Evaluate(sol)
+	fmt.Printf("deletion: %s\n", sol)
+	fmt.Printf("feasible: %v\n", rep.Feasible)
+	fmt.Printf("side effect: %v", rep.SideEffect)
+	if len(rep.Collateral) > 0 {
+		fmt.Printf("  (collateral:")
+		for _, r := range rep.Collateral {
+			fmt.Printf(" %s", r)
+		}
+		fmt.Printf(")")
+	}
+	fmt.Println()
+	if balanced {
+		fmt.Printf("balanced objective: %v (bad remaining %d)\n", rep.Balanced, rep.BadRemaining)
+	}
+	return nil
+}
+
+// pickSolver resolves a solver by name; "auto" picks the strongest solver
+// the instance structure admits: the exact DP on pivot forests, the
+// single-tuple exact algorithm when |ΔV|=1, and the red-blue reduction
+// otherwise (greedy for non-key-preserving inputs). Shared with the HTTP
+// API so both accept the same names.
+var pickSolver = server.PickSolver

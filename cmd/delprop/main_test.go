@@ -1,0 +1,120 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delprop/internal/core"
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+	"delprop/internal/textio"
+	"delprop/internal/view"
+)
+
+func td(name string) string { return filepath.Join("testdata", name) }
+
+// captureStdout runs f with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	for _, solver := range []string{"auto", "greedy", "red-blue", "red-blue-exact", "single-exact", "brute-force", "primal-dual", "low-deg", "balanced-red-blue", "balanced-exact"} {
+		out, err := captureStdout(t, func() error {
+			return run(td("db.txt"), td("queries.dl"), td("delete.txt"), solver, true, true)
+		})
+		if err != nil {
+			t.Fatalf("solver %s: %v", solver, err)
+		}
+		if !strings.Contains(out, "feasible: true") {
+			t.Errorf("solver %s: output lacks feasibility:\n%s", solver, out)
+		}
+		if !strings.Contains(out, "side effect:") {
+			t.Errorf("solver %s: output lacks side effect:\n%s", solver, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope.txt", td("queries.dl"), td("delete.txt"), "auto", false, false); err == nil {
+		t.Error("missing db accepted")
+	}
+	if err := run(td("db.txt"), "nope.dl", td("delete.txt"), "auto", false, false); err == nil {
+		t.Error("missing queries accepted")
+	}
+	if err := run(td("db.txt"), td("queries.dl"), "nope.txt", "auto", false, false); err == nil {
+		t.Error("missing deletions accepted")
+	}
+	if err := run(td("db.txt"), td("queries.dl"), td("delete.txt"), "no-such-solver", false, false); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestPickSolverAuto(t *testing.T) {
+	dbSrc, err := os.ReadFile(td("db.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := textio.ParseDatabase(string(dbSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-key-preserving: greedy.
+	q3 := []*cq.Query{cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)")}
+	p, err := core.NewProblem(db, q3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pickSolver("auto", p)
+	if err != nil || s.Name() != "greedy" {
+		t.Errorf("auto(non-KP) = %v, %v", s, err)
+	}
+	// Single-tuple KP: single-exact.
+	q4 := []*cq.Query{cq.MustParse("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")}
+	del := view.NewDeletion(view.TupleRef{View: 0, Tuple: tupleOf("John", "TKDE", "XML")})
+	p4, err := core.NewProblem(db, q4, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = pickSolver("auto", p4)
+	if err != nil || s.Name() != "single-tuple-exact" {
+		t.Errorf("auto(single) = %v, %v", s, err)
+	}
+	// Multi-tuple KP, non-pivot: red-blue.
+	del.Add(view.TupleRef{View: 0, Tuple: tupleOf("Joe", "TKDE", "XML")})
+	p4b, err := core.NewProblem(db, q4, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = pickSolver("auto", p4b)
+	if err != nil || s.Name() != "red-blue" {
+		t.Errorf("auto(multi) = %v, %v", s, err)
+	}
+}
+
+func tupleOf(vals ...string) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.Value(v)
+	}
+	return t
+}

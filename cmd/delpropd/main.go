@@ -1,0 +1,34 @@
+// Command delpropd serves the deletion-propagation library over HTTP.
+//
+// Usage:
+//
+//	delpropd -addr :8080
+//
+// Endpoints (JSON; see internal/server):
+//
+//	POST /solve     {database, queries, deletions, solver?, weights?}
+//	POST /classify  {database, queries}
+//	POST /lineage   {database, queries, tuple}
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"delprop/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("delpropd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBothModes(t *testing.T) {
+	for _, mode := range []string{"batch", "sequential"} {
+		var buf bytes.Buffer
+		if err := run(&buf, 2, 10, 4, mode); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "corrupt tuples planted") {
+			t.Errorf("mode %s: missing header:\n%s", mode, out)
+		}
+		if !strings.Contains(out, "total:") {
+			t.Errorf("mode %s: missing summary:\n%s", mode, out)
+		}
+	}
+}
+
+func TestRunConverges(t *testing.T) {
+	// With generous rounds and per-round budget every seed converges: no
+	// wrong view tuples remain reachable.
+	for seed := int64(1); seed <= 4; seed++ {
+		var buf bytes.Buffer
+		if err := run(&buf, seed, 50, 10, "batch"); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !strings.Contains(buf.String(), "converged") {
+			t.Errorf("seed %d did not converge:\n%s", seed, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, "nope"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestDeterministic: same seed, same transcript.
+func TestDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, 7, 6, 3, "batch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 7, 6, 3, "batch"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different transcripts")
+	}
+}

@@ -1,0 +1,14 @@
+// Package delprop is a reproduction of "Deletion Propagation for Multiple
+// Key Preserving Conjunctive Queries: Approximations and Complexity" (Cai,
+// Miao, Li; ICDE 2019).
+//
+// The library lives under internal/: the problem model and solver suite in
+// internal/core, the relational substrate in internal/relation, conjunctive
+// queries in internal/cq, materialized views with provenance in
+// internal/view, the covering problems in internal/setcover, the hardness
+// constructions in internal/reduction, the complexity-table deciders in
+// internal/classify, and the experiment harness in internal/bench. The
+// executables are cmd/delprop, cmd/classify and cmd/benchrunner; runnable
+// walk-throughs are under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package delprop

@@ -1,0 +1,139 @@
+// Annotation demonstrates the data-annotation application of Section V:
+// an error is known in one view, and the candidate source tuples to
+// annotate are the optimal deletions. With a single view several optima
+// exist; merging the deletions specified on the results of multiple
+// queries shrinks the candidate set — "the more queries and views, the
+// closer we approach the side-effect free solution".
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"delprop/internal/core"
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+	"delprop/internal/workload"
+)
+
+// allOptima enumerates every optimal feasible deletion of a small problem.
+func allOptima(p *core.Problem) []*core.Solution {
+	cands := p.CandidateTuples()
+	best := -1.0
+	var out []*core.Solution
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		var del []relation.TupleID
+		for i := range cands {
+			if mask&(1<<i) != 0 {
+				del = append(del, cands[i])
+			}
+		}
+		sol := &core.Solution{Deleted: del}
+		rep := p.Evaluate(sol)
+		if !rep.Feasible {
+			continue
+		}
+		switch {
+		case best < 0 || rep.SideEffect < best:
+			best = rep.SideEffect
+			out = []*core.Solution{sol}
+		case rep.SideEffect == best:
+			out = append(out, sol)
+		}
+	}
+	// Keep only minimal deletions (no optimum strictly inside another).
+	var minimal []*core.Solution
+	for i, a := range out {
+		keep := true
+		for j, b := range out {
+			if i != j && isSubset(b, a) && len(b.Deleted) < len(a.Deleted) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			minimal = append(minimal, a)
+		}
+	}
+	sort.Slice(minimal, func(i, j int) bool { return minimal[i].String() < minimal[j].String() })
+	return minimal
+}
+
+func isSubset(a, b *core.Solution) bool {
+	set := map[string]bool{}
+	for _, id := range b.Deleted {
+		set[id.Key()] = true
+	}
+	for _, id := range a.Deleted {
+		if !set[id.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func candidateTuples(sols []*core.Solution) []string {
+	set := map[string]bool{}
+	for _, s := range sols {
+		for _, id := range s.Deleted {
+			set[id.String()] = true
+		}
+	}
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	w := workload.Fig1()
+
+	// One view: the error (John, XML) in Q3(D). Several optimal deletions
+	// exist, so the annotation candidates are ambiguous.
+	p1, err := core.NewProblem(w.DB, w.Queries[:1], view.NewDeletion(
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt1 := allOptima(p1)
+	fmt.Printf("single view Q3, ΔV = (John, XML): %d minimal optimal deletions\n", len(opt1))
+	for _, s := range opt1 {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("annotation candidates: %v\n\n", candidateTuples(opt1))
+
+	// Completing the feedback: John in fact does no research at all, so
+	// (John, CUBE) is wrong too, and the same errors surface in Q4(D). A
+	// third view over T2 alone (a journal catalogue, with no errors
+	// reported) further constrains the journal rows. With the merged
+	// multi-view feedback the optimum becomes unique and side-effect free
+	// — the paper's "ideally, if the views and view deletions are given
+	// completely, we can always find the view side-effect free
+	// solutions"; "the more queries and its views, the closer we approach
+	// the side-effect free solution".
+	queries := append(append([]*cq.Query(nil), w.Queries...),
+		cq.MustParse("Catalogue(y, z, p) :- T2(y, z, p)"))
+	p2, err := core.NewProblem(w.DB, queries, view.NewDeletion(
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}},
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "CUBE"}},
+		view.TupleRef{View: 1, Tuple: relation.Tuple{"John", "TKDE", "XML"}},
+		view.TupleRef{View: 1, Tuple: relation.Tuple{"John", "TKDE", "CUBE"}},
+		view.TupleRef{View: 1, Tuple: relation.Tuple{"John", "TODS", "XML"}},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt2 := allOptima(p2)
+	fmt.Printf("three views, complete feedback (all of John's answers): %d minimal optimal deletions\n", len(opt2))
+	for _, s := range opt2 {
+		fmt.Printf("  %s  (side-effect %v)\n", s, p2.Evaluate(s).SideEffect)
+	}
+	c1, c2 := candidateTuples(opt1), candidateTuples(opt2)
+	fmt.Printf("annotation candidates: %v\n\n", c2)
+	fmt.Printf("candidate set narrowed from %d to %d tuples by merging multi-view feedback\n", len(c1), len(c2))
+}

@@ -1,0 +1,76 @@
+// Bibliography replays the paper's Fig. 1 / Section II.C worked example in
+// full: the author–journal–topic database, the non-key-preserving query Q3
+// and key-preserving Q4, the deletion ΔV = (John, XML), both optimal
+// source deletions the paper names, and the single-tuple case on Q4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delprop/internal/core"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+	"delprop/internal/workload"
+)
+
+func main() {
+	w := workload.Fig1()
+	fmt.Println("Fig. 1 database:")
+	fmt.Print(w.DB)
+
+	// Part 1: ΔV = (John, XML) on Q3(x,z) :- T1(x,y), T2(y,z,w).
+	p, err := core.NewProblem(w.DB, w.Queries[:1], view.NewDeletion(
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ3(D) has %d tuples (Fig 1c); ΔV = (John, XML)\n", p.TotalViewSize())
+
+	// The two optimal deletions named in Section II.C.
+	candidates := []*core.Solution{
+		{Deleted: []relation.TupleID{
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TKDE"}},
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TODS"}},
+		}},
+		{Deleted: []relation.TupleID{
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TKDE"}},
+			{Relation: "T2", Tuple: relation.Tuple{"TODS", "XML", "30"}},
+		}},
+	}
+	for _, sol := range candidates {
+		rep := p.Evaluate(sol)
+		fmt.Printf("  %s -> feasible=%v side-effect=%v collateral=%v\n",
+			sol, rep.Feasible, rep.SideEffect, rep.Collateral)
+	}
+	opt, err := (&core.BruteForce{}).Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := p.Evaluate(opt)
+	fmt.Printf("  brute-force optimum: %s side-effect=%v (paper: 1)\n", opt, rep.SideEffect)
+
+	// Part 2: ΔV = (John, TKDE, XML) on key-preserving Q4.
+	p4, err := core.NewProblem(w.DB, w.Queries[1:], view.NewDeletion(
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "TKDE", "XML"}},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ4(D) has %d tuples (Fig 1d); ΔV = (John, TKDE, XML)\n", p4.TotalViewSize())
+	for _, id := range []relation.TupleID{
+		{Relation: "T1", Tuple: relation.Tuple{"John", "TKDE"}},
+		{Relation: "T2", Tuple: relation.Tuple{"TKDE", "XML", "30"}},
+	} {
+		sol := &core.Solution{Deleted: []relation.TupleID{id}}
+		r := p4.Evaluate(sol)
+		fmt.Printf("  delete %s -> feasible=%v side-effect=%v\n", id, r.Feasible, r.SideEffect)
+	}
+	best, err := (&core.SingleTupleExact{}).Solve(p4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  single-tuple-exact picks %s (side-effect %v)\n",
+		best, p4.Evaluate(best).SideEffect)
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "bbbb"}}
+	tbl.Add("x", "y")
+	tbl.Add("longer", "z")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "longer") {
+		t.Errorf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "b"}}
+	tbl.Add("x", "value, with comma")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# demo\n") {
+		t.Errorf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, `"value, with comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+	if len(All()) != 18 {
+		t.Errorf("experiments = %d, want 18", len(All()))
+	}
+}
+
+// TestAllExperimentsRun executes every experiment end to end; this is the
+// regression net for the whole reproduction.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+			if strings.Contains(buf.String(), "MISMATCH") {
+				t.Errorf("%s output reports a mismatch with the paper:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+// TestFig3Output asserts the measured hypertree column matches the paper
+// column in the rendered table.
+func TestFig3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFig3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Q1 = {Q1,Q3,Q4,Q5}",
+		"Q2 = {Q1,Q3,Q5}",
+		"Q3 = {Q1,Q2,Q5}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q in:\n%s", want, out)
+		}
+	}
+	// Every row's measured value equals the paper value: the two cells
+	// render identically, so a disagreement would show as distinct
+	// endings.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Q") && strings.Contains(line, "H[") {
+			if strings.Count(line, "hypertree")%2 != 0 {
+				t.Errorf("measured/paper disagree in row: %s", line)
+			}
+		}
+	}
+}

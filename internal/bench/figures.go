@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"delprop/internal/core"
+	"delprop/internal/hypergraph"
+	"delprop/internal/reduction"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+	"delprop/internal/workload"
+)
+
+// runFig1 replays the paper's Section II.C example on the Fig. 1 instance:
+// ΔV = (John, XML) on Q3, minimum view side-effect 1, with the two optimal
+// deletions the paper names.
+func runFig1(w io.Writer) error {
+	wl := workload.Fig1()
+	p, err := core.NewProblem(wl.DB, wl.Queries[:1], nil)
+	if err != nil {
+		return err
+	}
+	p.Delta.Add(view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}})
+	opt, err := (&core.BruteForce{}).Solve(p)
+	if err != nil {
+		return err
+	}
+	rep := p.Evaluate(opt)
+	t := &Table{
+		Title:   "Fig 1: ΔV = (John, XML) on Q3(x,z) :- T1(x,y), T2(y,z,w)",
+		Headers: []string{"solution ΔD", "feasible", "side effect"},
+	}
+	named := []*core.Solution{
+		{Deleted: []relation.TupleID{
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TKDE"}},
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TODS"}},
+		}},
+		{Deleted: []relation.TupleID{
+			{Relation: "T1", Tuple: relation.Tuple{"John", "TKDE"}},
+			{Relation: "T2", Tuple: relation.Tuple{"TODS", "XML", "30"}},
+		}},
+	}
+	for _, s := range named {
+		r := p.Evaluate(s)
+		t.Add(s.String(), fmt.Sprint(r.Feasible), fmt.Sprint(r.SideEffect))
+	}
+	t.Add(opt.String()+" (brute force)", fmt.Sprint(rep.Feasible), fmt.Sprint(rep.SideEffect))
+	t.Fprint(w)
+	fmt.Fprintf(w, "paper: minimum view side-effect = 1; measured optimum = %v\n\n", rep.SideEffect)
+
+	// Second half of the example: ΔV = (John, TKDE, XML) on the
+	// key-preserving Q4.
+	p4, err := core.NewProblem(wl.DB, wl.Queries[1:], view.NewDeletion(
+		view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "TKDE", "XML"}},
+	))
+	if err != nil {
+		return err
+	}
+	sol, err := (&core.SingleTupleExact{}).Solve(p4)
+	if err != nil {
+		return err
+	}
+	r4 := p4.Evaluate(sol)
+	fmt.Fprintf(w, "Q4 (key-preserving), ΔV=(John,TKDE,XML): optimal %s, side effect %v\n\n", sol, r4.SideEffect)
+	return nil
+}
+
+// runFig2 replays the Fig. 2 reduction and demonstrates Theorem 1's cost
+// preservation on the example and on random instances.
+func runFig2(w io.Writer) error {
+	inst := reduction.Fig2()
+	v, err := reduction.FromRedBlue(inst)
+	if err != nil {
+		return err
+	}
+	p := v.Problem
+	t := &Table{
+		Title:   "Fig 2: RBSC {C1(r1,b1), C2(r1,b2), C3(r1,b3)} → VSE instance",
+		Headers: []string{"object", "value"},
+	}
+	t.Add("table T", fmt.Sprintf("%d tuples (one per set)", p.DB.Size()))
+	t.Add("views", fmt.Sprintf("%d (Vr1 + Vb1..Vb3), each a single join path", len(p.Views)))
+	t.Add("ΔV", p.Delta.String())
+	opt, err := (&core.BruteForce{}).Solve(p)
+	if err != nil {
+		return err
+	}
+	rep := p.Evaluate(opt)
+	t.Add("optimal ΔD", opt.String())
+	t.Add("optimal side effect", fmt.Sprint(rep.SideEffect))
+	rbOpt, err := inst.Exact(0)
+	if err != nil {
+		return err
+	}
+	t.Add("RBSC optimum", fmt.Sprint(inst.Cost(rbOpt)))
+	t.Fprint(w)
+	fmt.Fprintf(w, "cost preservation (Theorem 1): VSE optimum %v == RBSC optimum %v\n\n",
+		rep.SideEffect, inst.Cost(rbOpt))
+	return nil
+}
+
+// runFig3 reproduces the hypertree classification of Fig. 3.
+func runFig3(w io.Writer) error {
+	mk := func(names ...string) *hypergraph.Hypergraph {
+		h := hypergraph.New()
+		edges := map[string]hypergraph.Edge{
+			"Q1": hypergraph.NewEdge("Q1", "T1", "T2", "T3"),
+			"Q2": hypergraph.NewEdge("Q2", "T1", "T2", "T4"),
+			"Q3": hypergraph.NewEdge("Q3", "T1", "T2"),
+			"Q4": hypergraph.NewEdge("Q4", "T1", "T3"),
+			"Q5": hypergraph.NewEdge("Q5", "T2", "T3"),
+		}
+		for _, n := range names {
+			h.AddEdge(edges[n])
+		}
+		return h
+	}
+	t := &Table{
+		Title:   "Fig 3: dual hypergraphs of the example query sets",
+		Headers: []string{"query set", "dual hypergraph", "hypertree (measured)", "paper"},
+	}
+	cases := []struct {
+		name  string
+		sets  []string
+		paper string
+	}{
+		{"Q1 = {Q1,Q3,Q4,Q5}", []string{"Q1", "Q3", "Q4", "Q5"}, "not a hypertree"},
+		{"Q2 = {Q1,Q3,Q5}", []string{"Q1", "Q3", "Q5"}, "hypertree"},
+		{"Q3 = {Q1,Q2,Q5}", []string{"Q1", "Q2", "Q5"}, "hypertree"},
+	}
+	for _, c := range cases {
+		h := mk(c.sets...)
+		got := "not a hypertree"
+		if h.IsHypertree() {
+			got = "hypertree"
+		}
+		t.Add(c.name, h.String(), got, c.paper)
+	}
+	t.Fprint(w)
+	return nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"errors"
+	"math"
+)
+
+// FitPowerLaw fits y ≈ c·x^k by least squares in log-log space and returns
+// the exponent k and the coefficient of determination R². The experiment
+// harness uses it to report the empirical complexity exponent behind
+// Proposition 1's polynomial-runtime claim.
+func FitPowerLaw(xs, ys []float64) (exponent, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, errors.New("bench: need at least two matching samples")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, errors.New("bench: power-law fit needs positive samples")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, errors.New("bench: degenerate x values")
+	}
+	k := (n*sxy - sx*sy) / den
+	b := (sy - k*sx) / n
+	// R² in log space.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range lx {
+		pred := b + k*lx[i]
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	if ssTot == 0 {
+		return k, 1, nil
+	}
+	return k, 1 - ssRes/ssTot, nil
+}

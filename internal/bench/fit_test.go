@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3 x^2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	k, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", k)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestFitPowerLawLinearWithNoise(t *testing.T) {
+	xs := []float64{10, 20, 40, 80, 160}
+	ys := []float64{11, 19, 42, 78, 161} // ~x^1
+	k, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 0.9 || k > 1.1 {
+		t.Errorf("exponent = %v, want ≈1", k)
+	}
+	if r2 < 0.99 {
+		t.Errorf("R² = %v, want ≈1", r2)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("zero y accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{5, 5}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestFitPowerLawConstantY(t *testing.T) {
+	k, r2, err := FitPowerLaw([]float64{1, 2, 4}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 1e-9 || r2 != 1 {
+		t.Errorf("constant fit: k=%v r2=%v", k, r2)
+	}
+}

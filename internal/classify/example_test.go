@@ -1,0 +1,53 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"delprop/internal/classify"
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+)
+
+// Example classifies the paper's §IV.B query, which is sj-free and
+// key-preserving-adjacent but lacks head-domination, making its
+// single-query view side-effect problem NP-complete.
+func Example() {
+	schemas := cq.SchemaMap{
+		"R": relation.MustSchema("R", []string{"a", "b"}, []int{0, 1}),
+		"S": relation.MustSchema("S", []string{"a", "b"}, []int{0, 1}),
+	}
+	q := cq.MustParse("Q(y1, y2) :- R(y1, x), S(x, y2)")
+	props, err := classify.Analyze(q, schemas, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sj-free:", props.SelfJoinFree)
+	fmt.Println("head-domination:", props.HeadDomination)
+	fmt.Println("view side-effect:", classify.ViewSideEffect(props, false))
+	// Output:
+	// sj-free: true
+	// head-domination: false
+	// view side-effect: NP-complete
+}
+
+// ExampleMultiQuery classifies a multi-query set per the paper's own
+// results.
+func ExampleMultiQuery() {
+	schemas := cq.SchemaMap{
+		"R": relation.MustSchema("R", []string{"a", "b"}, []int{0, 1}),
+		"S": relation.MustSchema("S", []string{"a", "b"}, []int{0, 1}),
+	}
+	queries := []*cq.Query{
+		cq.MustParse("Q1(x, y) :- R(x, y)"),
+		cq.MustParse("Q2(x, y, z) :- R(x, y), S(y, z)"),
+	}
+	res, err := classify.MultiQuery(queries, schemas)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("forest:", res.Forest)
+	fmt.Println("class:", res.Class)
+	// Output:
+	// forest: true
+	// class: approximable within min(l, 2√‖V‖) (forest case)
+}

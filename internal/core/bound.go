@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// DualBound computes a lower bound on the optimal (weighted) view
+// side-effect without solving the problem: it runs the dual-raising phase
+// of the Section IV.C primal-dual scheme and returns Σ v_r over the
+// requested view tuples. The duals are feasible for the aggregated LP of
+// the paper (constraints (6)–(10)), whose optimum lower-bounds the true
+// optimum, so
+//
+//	DualBound(p) ≤ OPT_LP ≤ OPT.
+//
+// The bound lets experiments report optimality gaps on instances too large
+// for the exact solvers. Requires key-preserving queries.
+func DualBound(p *Problem) (float64, error) {
+	if err := requireKeyPreserving(p, "dual-bound"); err != nil {
+		return 0, err
+	}
+	candSet := make(map[string]bool)
+	for _, id := range p.CandidateTuples() {
+		candSet[id.Key()] = true
+	}
+	// Capacity per candidate tuple: Σ over preserved view tuples s ∋ t of
+	// w_s / k_s (constraint (7) with v_s raised to its cap).
+	capacity := make(map[string]float64)
+	for _, ref := range p.PreservedRefs() {
+		ans, _ := p.Answer(ref)
+		if len(ans.Derivations) == 0 {
+			continue
+		}
+		path := ans.Derivations[0].TupleSet()
+		share := p.Weight(ref) / float64(len(path))
+		for tk := range path {
+			if candSet[tk] {
+				capacity[tk] += share
+			}
+		}
+	}
+	type request struct {
+		key  string
+		path []string
+	}
+	var reqs []request
+	for _, ref := range p.Delta.Refs() {
+		ans, ok := p.Answer(ref)
+		if !ok || len(ans.Derivations) == 0 {
+			continue
+		}
+		var path []string
+		for tk := range ans.Derivations[0].TupleSet() {
+			path = append(path, tk)
+		}
+		sort.Strings(path)
+		reqs = append(reqs, request{key: ref.Key(), path: path})
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if len(reqs[i].path) != len(reqs[j].path) {
+			return len(reqs[i].path) < len(reqs[j].path)
+		}
+		return reqs[i].key < reqs[j].key
+	})
+	load := make(map[string]float64)
+	total := 0.0
+	for _, r := range reqs {
+		delta := -1.0
+		for _, tk := range r.path {
+			slack := capacity[tk] - load[tk]
+			if delta < 0 || slack < delta {
+				delta = slack
+			}
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for _, tk := range r.path {
+			load[tk] += delta
+		}
+		total += delta
+	}
+	return total, nil
+}
+
+// Portfolio runs several solvers and returns the feasible solution with
+// the smallest evaluated side-effect (ties broken by fewer deletions).
+// Solvers that error (precondition failures, size bounds) are skipped; an
+// error is returned only when every solver fails. With Parallel set, the
+// members run concurrently — each solver only reads the shared Problem, so
+// this is race-free by construction.
+type Portfolio struct {
+	// Solvers to run; nil means ApproxSolvers().
+	Solvers []Solver
+	// Parallel runs the members concurrently.
+	Parallel bool
+}
+
+// Name implements Solver.
+func (pf *Portfolio) Name() string { return "portfolio" }
+
+// Solve implements Solver.
+func (pf *Portfolio) Solve(p *Problem) (*Solution, error) {
+	solvers := pf.Solvers
+	if solvers == nil {
+		solvers = ApproxSolvers()
+	}
+	type outcome struct {
+		sol *Solution
+		err error
+	}
+	outcomes := make([]outcome, len(solvers))
+	if pf.Parallel {
+		var wg sync.WaitGroup
+		for i, s := range solvers {
+			wg.Add(1)
+			go func(i int, s Solver) {
+				defer wg.Done()
+				sol, err := s.Solve(p)
+				outcomes[i] = outcome{sol: sol, err: err}
+			}(i, s)
+		}
+		wg.Wait()
+	} else {
+		for i, s := range solvers {
+			sol, err := s.Solve(p)
+			outcomes[i] = outcome{sol: sol, err: err}
+		}
+	}
+	var best *Solution
+	var bestRep Report
+	var firstErr error
+	for _, o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		rep := p.Evaluate(o.sol)
+		if !rep.Feasible {
+			continue
+		}
+		if best == nil ||
+			rep.SideEffect < bestRep.SideEffect ||
+			(rep.SideEffect == bestRep.SideEffect && rep.DeletedCount < bestRep.DeletedCount) {
+			best, bestRep = o.sol, rep
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, ErrInfeasibleRestriction
+	}
+	return best, nil
+}

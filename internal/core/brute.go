@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"delprop/internal/relation"
+)
+
+// BruteForce enumerates every subset of the candidate tuples and returns a
+// minimum-side-effect feasible solution. Exponential; it refuses instances
+// with more than MaxCandidates candidates. It is the ground-truth optimum
+// used by the approximation-ratio experiments.
+type BruteForce struct {
+	// MaxCandidates bounds the search (default 22 when zero).
+	MaxCandidates int
+	// Balanced switches the objective to the balanced version of Section
+	// III (no feasibility constraint; minimize bad-remaining + side
+	// effect).
+	Balanced bool
+}
+
+// Name implements Solver.
+func (b *BruteForce) Name() string {
+	if b.Balanced {
+		return "brute-force-balanced"
+	}
+	return "brute-force"
+}
+
+// Solve implements Solver.
+func (b *BruteForce) Solve(p *Problem) (*Solution, error) {
+	max := b.MaxCandidates
+	if max == 0 {
+		max = 22
+	}
+	cands := p.CandidateTuples()
+	if len(cands) > max {
+		return nil, fmt.Errorf("%w: %d candidate tuples exceeds brute-force bound %d", ErrTooLarge, len(cands), max)
+	}
+	var best *Solution
+	bestCost := 0.0
+	n := len(cands)
+	for mask := 0; mask < 1<<n; mask++ {
+		var del []relation.TupleID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				del = append(del, cands[i])
+			}
+		}
+		sol := &Solution{Deleted: del}
+		rep := p.Evaluate(sol)
+		var cost float64
+		if b.Balanced {
+			cost = rep.Balanced
+		} else {
+			if !rep.Feasible {
+				continue
+			}
+			cost = rep.SideEffect
+		}
+		if best == nil || cost < bestCost || (cost == bestCost && len(del) < len(best.Deleted)) {
+			best = sol
+			bestCost = cost
+		}
+	}
+	if best == nil {
+		// With key-preserving queries deleting all candidates is always
+		// feasible, so this only happens when some requested view tuple
+		// has a derivation disjoint from the candidates — impossible — or
+		// when ΔV is empty and mask 0 was feasible. Defensive:
+		return nil, fmt.Errorf("core: brute force found no feasible solution")
+	}
+	return best, nil
+}

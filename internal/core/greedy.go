@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"delprop/internal/relation"
+	"delprop/internal/view"
+)
+
+// Greedy is the baseline heuristic: repeatedly delete the candidate tuple
+// killing the most still-alive requested view tuples per unit of newly
+// destroyed preserved weight, breaking ties by how many surviving
+// derivations it cuts (so the search advances even when no single deletion
+// kills a whole multi-derivation request). Feasible for arbitrary
+// conjunctive queries (not only key-preserving), with no approximation
+// guarantee.
+//
+// The default implementation scores candidates with the incremental view
+// maintainer (delete, inspect, undelete); Naive switches to re-deriving
+// survival from scratch per probe — kept as the DESIGN.md ablation.
+type Greedy struct {
+	// Naive disables incremental maintenance during scoring.
+	Naive bool
+}
+
+// Name implements Solver.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (g *Greedy) Solve(p *Problem) (*Solution, error) {
+	if g.Naive {
+		return g.solveNaive(p)
+	}
+	return g.solveIncremental(p)
+}
+
+func (g *Greedy) solveIncremental(p *Problem) (*Solution, error) {
+	cands := p.CandidateTuples()
+	m := view.NewMaintainer(p.Views)
+	deltaRefs := p.Delta.Refs()
+	var chosen []relation.TupleID
+
+	aliveBad := func() int {
+		n := 0
+		for _, ref := range deltaRefs {
+			if m.Alive(ref) {
+				n++
+			}
+		}
+		return n
+	}
+	aliveDerivs := func() int {
+		n := 0
+		for _, ref := range deltaRefs {
+			n += m.AliveDerivations(ref)
+		}
+		return n
+	}
+	taken := make(map[string]bool)
+	for {
+		bad := aliveBad()
+		if bad == 0 {
+			break
+		}
+		baseDerivs := aliveDerivs()
+		best, bestScore := -1, -1.0
+		for i, id := range cands {
+			if taken[id.Key()] {
+				continue
+			}
+			died := m.Delete(id)
+			killed := 0
+			extra := 0.0
+			for _, ref := range died {
+				if p.Delta.Contains(ref) {
+					killed++
+				} else {
+					extra += p.Weight(ref)
+				}
+			}
+			cut := baseDerivs - aliveDerivs()
+			m.Undelete(id)
+			if cut == 0 {
+				continue
+			}
+			score := (float64(killed) + float64(cut)/float64(baseDerivs+1)) / (1 + extra)
+			if score > bestScore {
+				bestScore, best = score, i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("core: greedy stuck with %d requested view tuples alive", bad)
+		}
+		id := cands[best]
+		taken[id.Key()] = true
+		m.Delete(id)
+		chosen = append(chosen, id)
+	}
+	return &Solution{Deleted: chosen}, nil
+}
+
+func (g *Greedy) solveNaive(p *Problem) (*Solution, error) {
+	cands := p.CandidateTuples()
+	deleted := make(map[string]bool)
+	var chosen []relation.TupleID
+
+	aliveBad := func() []view.TupleRef {
+		var out []view.TupleRef
+		for _, ref := range p.Delta.Refs() {
+			ans, ok := p.Answer(ref)
+			if !ok {
+				continue
+			}
+			if view.Survives(ans, deleted) {
+				out = append(out, ref)
+			}
+		}
+		return out
+	}
+	aliveDerivations := func() int {
+		n := 0
+		for _, ref := range p.Delta.Refs() {
+			ans, ok := p.Answer(ref)
+			if !ok {
+				continue
+			}
+			for _, d := range ans.Derivations {
+				hit := false
+				for _, id := range d {
+					if deleted[id.Key()] {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	preserved := p.PreservedRefs()
+	collateralWeight := func() float64 {
+		w := 0.0
+		for _, ref := range preserved {
+			ans, _ := p.Answer(ref)
+			if !view.Survives(ans, deleted) {
+				w += p.Weight(ref)
+			}
+		}
+		return w
+	}
+
+	for {
+		bad := aliveBad()
+		if len(bad) == 0 {
+			break
+		}
+		baseCollateral := collateralWeight()
+		baseDerivs := aliveDerivations()
+		best, bestScore := -1, -1.0
+		for i, id := range cands {
+			k := id.Key()
+			if deleted[k] {
+				continue
+			}
+			deleted[k] = true
+			killed := len(bad) - len(aliveBad())
+			cut := baseDerivs - aliveDerivations()
+			extra := collateralWeight() - baseCollateral
+			delete(deleted, k)
+			if cut == 0 {
+				continue
+			}
+			score := (float64(killed) + float64(cut)/float64(baseDerivs+1)) / (1 + extra)
+			if score > bestScore {
+				bestScore, best = score, i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("core: greedy stuck with %d requested view tuples alive", len(bad))
+		}
+		deleted[cands[best].Key()] = true
+		chosen = append(chosen, cands[best])
+	}
+	return &Solution{Deleted: chosen}, nil
+}

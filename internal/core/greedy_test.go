@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"delprop/internal/view"
+)
+
+// TestGreedyIncrementalMatchesNaive: the maintainer-backed scoring must
+// reproduce the naive implementation exactly (same deterministic
+// decisions, hence same solutions).
+func TestGreedyIncrementalMatchesNaive(t *testing.T) {
+	makers := map[string]func(*testing.T, int64, int) *Problem{
+		"star":  starProblem,
+		"chain": chainProblem,
+		"pivot": pivotProblem,
+	}
+	for name, mk := range makers {
+		for seed := int64(1); seed <= 6; seed++ {
+			p := mk(t, seed, 4)
+			if p.Delta.Len() == 0 {
+				continue
+			}
+			inc, err := (&Greedy{}).Solve(p)
+			if err != nil {
+				t.Fatalf("%s/%d incremental: %v", name, seed, err)
+			}
+			naive, err := (&Greedy{Naive: true}).Solve(p)
+			if err != nil {
+				t.Fatalf("%s/%d naive: %v", name, seed, err)
+			}
+			ri, rn := p.Evaluate(inc), p.Evaluate(naive)
+			if !ri.Feasible || !rn.Feasible {
+				t.Fatalf("%s/%d: feasibility inc=%v naive=%v", name, seed, ri.Feasible, rn.Feasible)
+			}
+			if ri.SideEffect != rn.SideEffect {
+				t.Errorf("%s/%d: incremental %v != naive %v", name, seed, ri.SideEffect, rn.SideEffect)
+			}
+			if inc.String() != naive.String() {
+				t.Errorf("%s/%d: different deletions:\n  inc:   %s\n  naive: %s", name, seed, inc, naive)
+			}
+		}
+	}
+}
+
+// TestGreedyMultiDerivation: greedy terminates on non-key-preserving
+// inputs where single deletions cannot kill whole requests.
+func TestGreedyMultiDerivation(t *testing.T) {
+	p := fig1Q3Problem(t)
+	for _, g := range []*Greedy{{}, {Naive: true}} {
+		sol, err := g.Solve(p)
+		if err != nil {
+			t.Fatalf("naive=%v: %v", g.Naive, err)
+		}
+		if rep := p.Evaluate(sol); !rep.Feasible {
+			t.Errorf("naive=%v: infeasible", g.Naive)
+		}
+	}
+}
+
+// TestGreedyWeightsSteerChoice: heavy preservation weight on one view
+// tuple pushes greedy away from deletions that destroy it.
+func TestGreedyWeightsSteerChoice(t *testing.T) {
+	p := fig1Q4Problem(t)
+	// Unweighted: greedy may pick either T1(John,TKDE) (collateral
+	// John/TKDE/CUBE) or T2(TKDE,XML,30) (collateral Joe+Tom rows).
+	// Make John/TKDE/CUBE enormously heavy: the T2 deletion (collateral
+	// weight 2) must win.
+	p.SetWeight(view.TupleRef{View: 0, Tuple: tup("John", "TKDE", "CUBE")}, 100)
+	sol, err := (&Greedy{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Evaluate(sol)
+	if !rep.Feasible {
+		t.Fatal("infeasible")
+	}
+	if rep.SideEffect >= 100 {
+		t.Errorf("greedy destroyed the heavy tuple: %+v", rep)
+	}
+}

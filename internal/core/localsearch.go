@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"delprop/internal/relation"
+)
+
+// LocalSearch wraps another solver and improves its solution by hill
+// climbing: drop deletions that are unnecessary for feasibility, and try
+// single-tuple swaps (replace one deleted tuple with a different tuple
+// from an affected request's join path) while the weighted side effect
+// strictly decreases. The result is never worse than the inner solver's
+// and remains feasible. MaxPasses bounds the sweeps (default 4).
+type LocalSearch struct {
+	// Inner produces the starting solution (Greedy when nil).
+	Inner Solver
+	// MaxPasses bounds improvement sweeps.
+	MaxPasses int
+}
+
+// Name implements Solver.
+func (ls *LocalSearch) Name() string {
+	inner := ls.inner()
+	return "local-search(" + inner.Name() + ")"
+}
+
+func (ls *LocalSearch) inner() Solver {
+	if ls.Inner != nil {
+		return ls.Inner
+	}
+	return &Greedy{}
+}
+
+// Solve implements Solver.
+func (ls *LocalSearch) Solve(p *Problem) (*Solution, error) {
+	start, err := ls.inner().Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	passes := ls.MaxPasses
+	if passes == 0 {
+		passes = 4
+	}
+	current := map[string]relation.TupleID{}
+	for _, id := range start.Deleted {
+		current[id.Key()] = id
+	}
+	toSolution := func() *Solution {
+		keys := make([]string, 0, len(current))
+		for k := range current {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sol := &Solution{}
+		for _, k := range keys {
+			sol.Deleted = append(sol.Deleted, current[k])
+		}
+		return sol
+	}
+	score := func() (float64, bool) {
+		rep := p.Evaluate(toSolution())
+		return rep.SideEffect, rep.Feasible
+	}
+	bestCost, feasible := score()
+	if !feasible {
+		// Inner solver produced an infeasible solution (e.g. a balanced
+		// variant); return it untouched.
+		return start, nil
+	}
+	cands := p.CandidateTuples()
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		// Drop moves.
+		for k, id := range sortedEntries(current) {
+			_ = k
+			delete(current, id.Key())
+			if c, ok := score(); ok && c <= bestCost {
+				if c < bestCost {
+					improved = true
+				}
+				bestCost = c
+				continue
+			}
+			current[id.Key()] = id
+		}
+		// Swap moves: replace one deletion with one candidate.
+		for _, id := range sortedEntries(current) {
+			for _, alt := range cands {
+				if _, in := current[alt.Key()]; in || alt.Key() == id.Key() {
+					continue
+				}
+				delete(current, id.Key())
+				current[alt.Key()] = alt
+				if c, ok := score(); ok && c < bestCost {
+					bestCost = c
+					improved = true
+					break
+				}
+				delete(current, alt.Key())
+				current[id.Key()] = id
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return toSolution(), nil
+}
+
+// sortedEntries returns the map's values ordered by key for deterministic
+// iteration.
+func sortedEntries(m map[string]relation.TupleID) []relation.TupleID {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]relation.TupleID, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sort"
+
+	"delprop/internal/relation"
+	"delprop/internal/view"
+)
+
+// PrimalDual implements Algorithm 1 (PrimeDualVSE): the primal-dual
+// l-approximation for the forest cases, after Garg–Vazirani–Yannakakis
+// multicut on trees.
+//
+// The LP view (Section IV.C): a dual variable v_r is raised for every
+// requested view tuple r; every preserved view tuple s absorbs at most
+// w_s / k_s of dual growth (constraint (7), k_s = number of base tuples on
+// s's join path), so each base tuple t has a capacity
+//
+//	C_t = Σ_{s preserved, t ∈ s} w_s / k_s.
+//
+// Raising the duals eagerly to their caps (the algorithm's "necessary
+// increase of the intersecting view tuples to be preserved") turns
+// constraint (8) into the pure packing constraint Σ_{r ∋ t} v_r ≤ C_t.
+// Each requested view tuple's dual is then raised until some tuple on its
+// path saturates; saturated tuples are deleted, and a reverse-delete pass
+// prunes deletions not needed for feasibility. Complementary slackness
+// yields the factor-l guarantee on forest instances.
+//
+// Requires key-preserving queries. Order: requested view tuples are
+// processed in increasing depth of their path's deepest tuple when a
+// forest structure is detected (the paper's LCA order); otherwise in
+// deterministic reference order.
+type PrimalDual struct {
+	// NoPrune disables the reverse-delete pass (kept as an ablation knob;
+	// the zero value runs the full Algorithm 1 including pruning).
+	NoPrune bool
+	// restrictCandidates, if non-nil, limits deletable tuples (used by
+	// LowDegTree).
+	restrictCandidates map[string]bool
+	// restrictPreserved, if non-nil, limits which preserved view tuples
+	// contribute capacity (LowDegTree prunes wide ones).
+	restrictPreserved map[string]bool
+}
+
+// Name implements Solver.
+func (pd *PrimalDual) Name() string { return "primal-dual" }
+
+const saturationEps = 1e-9
+
+// Solve implements Solver.
+func (pd *PrimalDual) Solve(p *Problem) (*Solution, error) {
+	if err := requireKeyPreserving(p, pd.Name()); err != nil {
+		return nil, err
+	}
+	cands := p.CandidateTuples()
+	if pd.restrictCandidates != nil {
+		var filtered []relation.TupleID
+		for _, id := range cands {
+			if pd.restrictCandidates[id.Key()] {
+				filtered = append(filtered, id)
+			}
+		}
+		cands = filtered
+	}
+	candSet := make(map[string]bool, len(cands))
+	for _, id := range cands {
+		candSet[id.Key()] = true
+	}
+
+	// Capacity per candidate tuple.
+	capacity := make(map[string]float64, len(cands))
+	for _, ref := range p.PreservedRefs() {
+		if pd.restrictPreserved != nil && !pd.restrictPreserved[ref.Key()] {
+			continue
+		}
+		ans, _ := p.Answer(ref)
+		if len(ans.Derivations) == 0 {
+			continue
+		}
+		path := ans.Derivations[0].TupleSet()
+		k := float64(len(path))
+		share := p.Weight(ref) / k
+		for tk := range path {
+			if candSet[tk] {
+				capacity[tk] += share
+			}
+		}
+	}
+
+	// Path per requested view tuple (restricted to candidates).
+	type request struct {
+		ref  view.TupleRef
+		path []string // tuple keys
+	}
+	var reqs []request
+	for _, ref := range p.Delta.Refs() {
+		ans, ok := p.Answer(ref)
+		if !ok || len(ans.Derivations) == 0 {
+			continue
+		}
+		var path []string
+		for tk := range ans.Derivations[0].TupleSet() {
+			if candSet[tk] {
+				path = append(path, tk)
+			}
+		}
+		sort.Strings(path)
+		reqs = append(reqs, request{ref: ref, path: path})
+	}
+	// Deterministic processing order; on forest instances order by path
+	// length then key, approximating the paper's depth ordering.
+	sort.Slice(reqs, func(i, j int) bool {
+		if len(reqs[i].path) != len(reqs[j].path) {
+			return len(reqs[i].path) < len(reqs[j].path)
+		}
+		return reqs[i].ref.Key() < reqs[j].ref.Key()
+	})
+
+	load := make(map[string]float64, len(cands))
+	saturated := make(map[string]bool)
+	var pickOrder []string
+	for _, r := range reqs {
+		if len(r.path) == 0 {
+			// No deletable tuple can kill this request; infeasible under
+			// the restriction.
+			return nil, ErrInfeasibleRestriction
+		}
+		// Already hit?
+		hit := false
+		for _, tk := range r.path {
+			if saturated[tk] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		// Raise v_r by the minimum slack along the path.
+		delta := -1.0
+		for _, tk := range r.path {
+			slack := capacity[tk] - load[tk]
+			if delta < 0 || slack < delta {
+				delta = slack
+			}
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for _, tk := range r.path {
+			load[tk] += delta
+			if !saturated[tk] && load[tk] >= capacity[tk]-saturationEps {
+				saturated[tk] = true
+				pickOrder = append(pickOrder, tk)
+			}
+		}
+	}
+
+	// Reverse-delete prune: drop saturated tuples not needed to keep every
+	// requested view tuple covered.
+	chosen := make(map[string]bool, len(saturated))
+	for k := range saturated {
+		chosen[k] = true
+	}
+	if !pd.NoPrune {
+		feasibleWithout := func(drop string) bool {
+			for _, r := range reqs {
+				covered := false
+				for _, tk := range r.path {
+					if tk != drop && chosen[tk] {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+			return true
+		}
+		for i := len(pickOrder) - 1; i >= 0; i-- {
+			tk := pickOrder[i]
+			if feasibleWithout(tk) {
+				delete(chosen, tk)
+			}
+		}
+	}
+
+	byKey := make(map[string]relation.TupleID, len(cands))
+	for _, id := range cands {
+		byKey[id.Key()] = id
+	}
+	sol := &Solution{}
+	keys := make([]string, 0, len(chosen))
+	for k := range chosen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sol.Deleted = append(sol.Deleted, byKey[k])
+	}
+	return sol, nil
+}

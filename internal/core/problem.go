@@ -1,0 +1,294 @@
+// Package core implements the paper's contribution: the view side-effect
+// minimization problem for multiple key-preserving conjunctive queries
+// (Section II.C), its balanced variant (Section III), and the full solver
+// suite — brute force and single-tuple exact baselines, the greedy
+// heuristic, the Red-Blue Set Cover reduction of Claim 1, the balanced
+// reduction of Lemma 1, the primal-dual l-approximation of Algorithm 1, the
+// low-degree 2√‖V‖ algorithms of Algorithms 2–3, and the exact dynamic
+// program of Algorithm 4 for the pivot forest case.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+)
+
+// Problem is one instance of the deletion propagation problem: a source
+// database D, queries Q, their materialized views V, the deletion request
+// ΔV, and optional preservation weights on the view tuples to keep.
+type Problem struct {
+	DB      *relation.Instance
+	Queries []*cq.Query
+	Views   []*view.View
+	Delta   *view.Deletion
+	// Weights maps view.TupleRef keys of *preserved* view tuples to their
+	// preservation weight; absent keys default to 1.
+	Weights map[string]float64
+
+	inverted      *view.InvertedIndex
+	keyPreserving bool
+}
+
+// Construction errors.
+var (
+	// ErrNotKeyPreserving is returned by solvers that require every query
+	// to be key-preserving.
+	ErrNotKeyPreserving = errors.New("core: problem requires key-preserving queries")
+	// ErrTooLarge is returned by exponential solvers on oversized inputs.
+	ErrTooLarge = errors.New("core: instance too large for this solver")
+	// ErrInfeasibleRestriction is returned when a candidate restriction
+	// (e.g. the low-degree cap of Algorithm 2) makes some requested view
+	// tuple unkillable.
+	ErrInfeasibleRestriction = errors.New("core: restriction leaves a requested view tuple unkillable")
+)
+
+// NewProblem materializes the views, validates the deletion request, and
+// precomputes the provenance index. Weights may be nil.
+func NewProblem(db *relation.Instance, queries []*cq.Query, delta *view.Deletion) (*Problem, error) {
+	views, err := view.Materialize(queries, db)
+	if err != nil {
+		return nil, err
+	}
+	if delta == nil {
+		delta = view.NewDeletion()
+	}
+	if err := delta.Validate(views); err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		DB:      db,
+		Queries: queries,
+		Views:   views,
+		Delta:   delta,
+	}
+	p.inverted = view.BuildInvertedIndex(views)
+	p.keyPreserving = true
+	for _, q := range queries {
+		kp, err := q.IsKeyPreserving(cq.InstanceSchemas(db))
+		if err != nil {
+			return nil, err
+		}
+		if !kp {
+			p.keyPreserving = false
+		}
+	}
+	return p, nil
+}
+
+// IsKeyPreserving reports whether every query of the problem is
+// key-preserving.
+func (p *Problem) IsKeyPreserving() bool { return p.keyPreserving }
+
+// Inverted returns the tuple→view-tuple occurrence index.
+func (p *Problem) Inverted() *view.InvertedIndex { return p.inverted }
+
+// Weight returns the preservation weight of a view tuple (1 by default).
+func (p *Problem) Weight(ref view.TupleRef) float64 {
+	if p.Weights == nil {
+		return 1
+	}
+	if w, ok := p.Weights[ref.Key()]; ok {
+		return w
+	}
+	return 1
+}
+
+// SetWeight assigns a preservation weight to a view tuple.
+func (p *Problem) SetWeight(ref view.TupleRef, w float64) {
+	if p.Weights == nil {
+		p.Weights = make(map[string]float64)
+	}
+	p.Weights[ref.Key()] = w
+}
+
+// PreservedRefs returns V \ ΔV: every view tuple not requested for
+// deletion, in deterministic (view, answer) order.
+func (p *Problem) PreservedRefs() []view.TupleRef {
+	var out []view.TupleRef
+	for _, v := range p.Views {
+		for _, ans := range v.Result.Answers() {
+			ref := view.TupleRef{View: v.Index, Tuple: ans.Tuple}
+			if !p.Delta.Contains(ref) {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// TotalViewSize returns ‖V‖.
+func (p *Problem) TotalViewSize() int { return view.TotalSize(p.Views) }
+
+// MaxArity returns l = max arity(Q).
+func (p *Problem) MaxArity() int { return view.MaxArity(p.Views) }
+
+// Answer returns the provenance answer behind a view tuple reference.
+func (p *Problem) Answer(ref view.TupleRef) (*cq.Answer, bool) {
+	if ref.View < 0 || ref.View >= len(p.Views) {
+		return nil, false
+	}
+	return p.Views[ref.View].Result.Lookup(ref.Tuple)
+}
+
+// CandidateTuples returns the base tuples occurring in some derivation of
+// some requested view tuple — the only deletions that can ever help, since
+// any other deletion leaves ΔV intact and can only add collateral damage.
+// The result is sorted by tuple key for determinism.
+func (p *Problem) CandidateTuples() []relation.TupleID {
+	seen := make(map[string]relation.TupleID)
+	for _, ref := range p.Delta.Refs() {
+		ans, ok := p.Answer(ref)
+		if !ok {
+			continue
+		}
+		for _, d := range ans.Derivations {
+			for k, id := range d.TupleSet() {
+				seen[k] = id
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]relation.TupleID, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// Solution is a proposed source deletion ΔD.
+type Solution struct {
+	Deleted []relation.TupleID
+}
+
+// String renders the deletion sorted.
+func (s *Solution) String() string {
+	parts := make([]string, len(s.Deleted))
+	for i, id := range s.Deleted {
+		parts[i] = id.String()
+	}
+	sort.Strings(parts)
+	return "ΔD{" + strings.Join(parts, ", ") + "}"
+}
+
+// Report is the evaluation of a solution against a problem.
+type Report struct {
+	// Feasible is true when every requested view tuple is eliminated
+	// (condition (a) of Section II.C).
+	Feasible bool
+	// SideEffect is the weighted count of preserved view tuples destroyed
+	// (Σ si of Section II.C, weighted).
+	SideEffect float64
+	// Collateral lists the destroyed preserved view tuples.
+	Collateral []view.TupleRef
+	// BadRemaining counts requested view tuples still alive.
+	BadRemaining int
+	// Balanced is the balanced objective of Section III: BadRemaining +
+	// SideEffect (each surviving bad tuple costs 1).
+	Balanced float64
+	// DeletedCount is |ΔD|.
+	DeletedCount int
+}
+
+// String renders the report on one line for CLI output and logs.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "feasible=%v side-effect=%v deleted=%d", r.Feasible, r.SideEffect, r.DeletedCount)
+	if r.BadRemaining > 0 {
+		fmt.Fprintf(&b, " bad-remaining=%d balanced=%v", r.BadRemaining, r.Balanced)
+	}
+	if len(r.Collateral) > 0 {
+		parts := make([]string, len(r.Collateral))
+		for i, ref := range r.Collateral {
+			parts[i] = ref.String()
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, " collateral=[%s]", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// Evaluate scores a solution using provenance (no re-evaluation of the
+// queries). Tests cross-check this against full re-evaluation.
+func (p *Problem) Evaluate(sol *Solution) Report {
+	set := view.DeletedSet(sol.Deleted)
+	rep := Report{DeletedCount: len(sol.Deleted)}
+	removedRequested := 0
+	for _, v := range p.Views {
+		for _, ans := range v.Result.Answers() {
+			if view.Survives(ans, set) {
+				continue
+			}
+			ref := view.TupleRef{View: v.Index, Tuple: ans.Tuple}
+			if p.Delta.Contains(ref) {
+				removedRequested++
+			} else {
+				rep.Collateral = append(rep.Collateral, ref)
+				rep.SideEffect += p.Weight(ref)
+			}
+		}
+	}
+	rep.BadRemaining = p.Delta.Len() - removedRequested
+	rep.Feasible = rep.BadRemaining == 0
+	rep.Balanced = float64(rep.BadRemaining) + rep.SideEffect
+	return rep
+}
+
+// EvaluateByReevaluation recomputes every view on D\ΔD and scores the
+// solution from scratch. Slower but independent of the provenance cache;
+// used to validate Evaluate.
+func (p *Problem) EvaluateByReevaluation(sol *Solution) (Report, error) {
+	db2 := p.DB.Without(sol.Deleted)
+	rep := Report{DeletedCount: len(sol.Deleted)}
+	removedRequested := 0
+	for _, v := range p.Views {
+		res2, err := cq.Evaluate(v.Query, db2)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, ans := range v.Result.Answers() {
+			if res2.Contains(ans.Tuple) {
+				continue
+			}
+			ref := view.TupleRef{View: v.Index, Tuple: ans.Tuple}
+			if p.Delta.Contains(ref) {
+				removedRequested++
+			} else {
+				rep.Collateral = append(rep.Collateral, ref)
+				rep.SideEffect += p.Weight(ref)
+			}
+		}
+	}
+	rep.BadRemaining = p.Delta.Len() - removedRequested
+	rep.Feasible = rep.BadRemaining == 0
+	rep.Balanced = float64(rep.BadRemaining) + rep.SideEffect
+	return rep, nil
+}
+
+// Solver is the common interface of all deletion propagation algorithms.
+type Solver interface {
+	// Name returns a short identifier for reports and benchmarks.
+	Name() string
+	// Solve computes a source deletion for the problem. Implementations
+	// document whether the result is exact or approximate and any
+	// preconditions (key-preserving, forest structure, size bounds).
+	Solve(p *Problem) (*Solution, error)
+}
+
+// requireKeyPreserving is shared by solvers whose correctness rests on the
+// one-derivation-per-view-tuple property.
+func requireKeyPreserving(p *Problem, solver string) error {
+	if !p.IsKeyPreserving() {
+		return fmt.Errorf("%w (solver %s)", ErrNotKeyPreserving, solver)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"delprop/internal/relation"
+	"delprop/internal/setcover"
+)
+
+// redBlueEncoding is the Claim 1 reduction from view side-effect to
+// Red-Blue Set Cover: one blue element per requested view tuple, one
+// weighted red element per preserved view tuple, and one set per candidate
+// base tuple containing exactly the view tuples whose (unique,
+// key-preserving) join path goes through it.
+type redBlueEncoding struct {
+	inst   *setcover.Instance
+	tuples []relation.TupleID // set index -> base tuple
+}
+
+// buildRedBlue constructs the encoding. Preserved view tuples that no
+// candidate touches are omitted (they can never be collateral damage).
+func buildRedBlue(p *Problem) (*redBlueEncoding, error) {
+	if err := requireKeyPreserving(p, "red-blue"); err != nil {
+		return nil, err
+	}
+	blueIdx := make(map[string]int)
+	for i, ref := range p.Delta.Refs() {
+		blueIdx[ref.Key()] = i
+	}
+	redIdx := make(map[string]int)
+	var redWeights []float64
+	for _, ref := range p.PreservedRefs() {
+		redIdx[ref.Key()] = len(redWeights)
+		redWeights = append(redWeights, p.Weight(ref))
+	}
+	enc := &redBlueEncoding{inst: &setcover.Instance{
+		NumRed:     len(redWeights),
+		NumBlue:    p.Delta.Len(),
+		RedWeights: redWeights,
+	}}
+	for _, id := range p.CandidateTuples() {
+		s := setcover.Set{Name: id.String()}
+		for _, occ := range p.Inverted().Occurrences(id) {
+			k := occ.Ref.Key()
+			if b, ok := blueIdx[k]; ok {
+				s.Blues = append(s.Blues, b)
+			} else if r, ok := redIdx[k]; ok {
+				s.Reds = append(s.Reds, r)
+			}
+		}
+		enc.inst.Sets = append(enc.inst.Sets, s)
+		enc.tuples = append(enc.tuples, id)
+	}
+	if err := enc.inst.Validate(); err != nil {
+		return nil, fmt.Errorf("core: red-blue encoding invalid: %w", err)
+	}
+	return enc, nil
+}
+
+// decode maps a set-cover solution back to a source deletion.
+func (enc *redBlueEncoding) decode(sol setcover.Solution) *Solution {
+	out := &Solution{}
+	for _, si := range sol.Chosen {
+		out.Deleted = append(out.Deleted, enc.tuples[si])
+	}
+	return out
+}
+
+// RedBlue is the general-case approximation of Claim 1: reduce to Red-Blue
+// Set Cover and solve with the low-degree sweep, giving the
+// O(2√(l·‖V‖·log‖ΔV‖)) guarantee. Requires key-preserving queries.
+type RedBlue struct {
+	// Mode selects the inner greedy of the sweep (GreedyRatio default).
+	Mode setcover.GreedyMode
+}
+
+// Name implements Solver.
+func (r *RedBlue) Name() string { return "red-blue" }
+
+// Solve implements Solver.
+func (r *RedBlue) Solve(p *Problem) (*Solution, error) {
+	enc, err := buildRedBlue(p)
+	if err != nil {
+		return nil, err
+	}
+	if enc.inst.NumBlue == 0 {
+		return &Solution{}, nil
+	}
+	sol, err := enc.inst.LowDegSweep(r.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("core: red-blue sweep: %w", err)
+	}
+	return enc.decode(sol), nil
+}
+
+// RedBlueExact solves the Claim 1 encoding exactly by branch and bound. It
+// is exact for key-preserving problems and much faster than BruteForce,
+// serving as the reference optimum in larger ratio experiments.
+type RedBlueExact struct {
+	// MaxSets bounds the search (0 = unbounded).
+	MaxSets int
+}
+
+// Name implements Solver.
+func (r *RedBlueExact) Name() string { return "red-blue-exact" }
+
+// Solve implements Solver.
+func (r *RedBlueExact) Solve(p *Problem) (*Solution, error) {
+	enc, err := buildRedBlue(p)
+	if err != nil {
+		return nil, err
+	}
+	if enc.inst.NumBlue == 0 {
+		return &Solution{}, nil
+	}
+	sol, err := enc.inst.Exact(r.MaxSets)
+	if err != nil {
+		return nil, fmt.Errorf("core: red-blue exact: %w", err)
+	}
+	return enc.decode(sol), nil
+}
+
+// BalancedRedBlue is the Lemma 1 approximation for balanced deletion
+// propagation: reduce to Positive-Negative Partial Set Cover (positives =
+// requested view tuples, negatives = preserved view tuples, one set per
+// candidate tuple) and solve via Miettinen's reduction, giving the
+// 2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖) guarantee. Requires key-preserving queries.
+type BalancedRedBlue struct {
+	Mode setcover.GreedyMode
+	// Exact switches to the exact branch-and-bound on the reduction
+	// (reference optimum for the balanced objective).
+	Exact bool
+	// MaxSets bounds the exact search (0 = unbounded).
+	MaxSets int
+}
+
+// Name implements Solver.
+func (b *BalancedRedBlue) Name() string {
+	if b.Exact {
+		return "balanced-exact"
+	}
+	return "balanced-red-blue"
+}
+
+// Solve implements Solver.
+func (b *BalancedRedBlue) Solve(p *Problem) (*Solution, error) {
+	if err := requireKeyPreserving(p, b.Name()); err != nil {
+		return nil, err
+	}
+	posIdx := make(map[string]int)
+	for i, ref := range p.Delta.Refs() {
+		posIdx[ref.Key()] = i
+	}
+	negIdx := make(map[string]int)
+	var negWeights []float64
+	for _, ref := range p.PreservedRefs() {
+		negIdx[ref.Key()] = len(negWeights)
+		negWeights = append(negWeights, p.Weight(ref))
+	}
+	pn := &setcover.PNPSCInstance{
+		NumPos:     p.Delta.Len(),
+		NumNeg:     len(negWeights),
+		NegWeights: negWeights,
+	}
+	var tuples []relation.TupleID
+	for _, id := range p.CandidateTuples() {
+		s := setcover.PNSet{Name: id.String()}
+		for _, occ := range p.Inverted().Occurrences(id) {
+			k := occ.Ref.Key()
+			if i, ok := posIdx[k]; ok {
+				s.Positives = append(s.Positives, i)
+			} else if i, ok := negIdx[k]; ok {
+				s.Negatives = append(s.Negatives, i)
+			}
+		}
+		pn.Sets = append(pn.Sets, s)
+		tuples = append(tuples, id)
+	}
+	if err := pn.Validate(); err != nil {
+		return nil, fmt.Errorf("core: balanced encoding invalid: %w", err)
+	}
+	var sol setcover.Solution
+	var err error
+	if b.Exact {
+		sol, err = pn.Exact(b.MaxSets)
+	} else {
+		sol, err = pn.Solve(b.Mode)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: balanced solve: %w", err)
+	}
+	out := &Solution{}
+	for _, si := range sol.Chosen {
+		out.Deleted = append(out.Deleted, tuples[si])
+	}
+	return out, nil
+}
+
+// BuildRedBlueEncoding exposes the Claim 1 encoding for the reduction
+// experiments (experiment E8) and for white-box tests.
+func BuildRedBlueEncoding(p *Problem) (*setcover.Instance, []relation.TupleID, error) {
+	enc, err := buildRedBlue(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc.inst, enc.tuples, nil
+}

@@ -1,0 +1,22 @@
+package core
+
+// ApproxSolvers returns the paper's approximation suite in a fixed order:
+// greedy baseline, the Claim 1 red-blue reduction, the Algorithm 1
+// primal-dual, and the Algorithm 3 low-degree sweep.
+func ApproxSolvers() []Solver {
+	return []Solver{
+		&Greedy{},
+		&RedBlue{},
+		&PrimalDual{},
+		&LowDegTreeTwo{},
+	}
+}
+
+// ExactSolvers returns the exact reference solvers: full brute force and
+// the branch-and-bound over the Claim 1 encoding (key-preserving only).
+func ExactSolvers() []Solver {
+	return []Solver{
+		&BruteForce{},
+		&RedBlueExact{},
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"delprop/internal/classify"
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+)
+
+// Unidimensional implements the algorithm behind the Table IV tractable
+// case of Kimelfeld, Vondrák and Williams: for a single self-join-free
+// query WITH head domination and a single-tuple deletion request, an
+// optimal solution is "unidimensional" — it deletes facts from a single
+// atom's relation, namely every fact that atom matches across the
+// requested answer's derivations. The solver evaluates that candidate
+// set for every atom and returns the best; head domination guarantees one
+// of them is optimal (validated differentially against BruteForce in the
+// tests).
+//
+// Preconditions: exactly one query, sj-free, head-dominated, |ΔV| = 1.
+type Unidimensional struct{}
+
+// Name implements Solver.
+func (u *Unidimensional) Name() string { return "unidimensional" }
+
+// ErrNotHeadDominated is returned when the query lacks head domination
+// (where the single-query view side-effect problem is NP-complete and
+// this algorithm's guarantee evaporates).
+var ErrNotHeadDominated = fmt.Errorf("core: query is not head-dominated")
+
+// Solve implements Solver.
+func (u *Unidimensional) Solve(p *Problem) (*Solution, error) {
+	if len(p.Queries) != 1 {
+		return nil, fmt.Errorf("core: unidimensional requires one query, got %d", len(p.Queries))
+	}
+	if p.Delta.Len() != 1 {
+		return nil, fmt.Errorf("core: unidimensional requires one requested deletion, got %d", p.Delta.Len())
+	}
+	q := p.Queries[0]
+	if !q.IsSelfJoinFree() {
+		return nil, fmt.Errorf("core: unidimensional requires a self-join-free query")
+	}
+	props, err := classify.Analyze(q, cq.InstanceSchemas(p.DB), nil)
+	if err != nil {
+		return nil, err
+	}
+	if !props.HeadDomination {
+		return nil, ErrNotHeadDominated
+	}
+	ref := p.Delta.Refs()[0]
+	ans, ok := p.Answer(ref)
+	if !ok {
+		return nil, fmt.Errorf("core: %s is not a view tuple", ref)
+	}
+	var best *Solution
+	bestCost := 0.0
+	for ai := range q.Body {
+		// The unidimensional candidate for atom ai: every fact this atom
+		// matches in a derivation of the requested answer.
+		seen := make(map[string]relation.TupleID)
+		for _, d := range ans.Derivations {
+			id := d[ai]
+			seen[id.Key()] = id
+		}
+		sol := &Solution{}
+		for _, id := range seen {
+			sol.Deleted = append(sol.Deleted, id)
+		}
+		sortSolution(sol)
+		rep := p.Evaluate(sol)
+		if !rep.Feasible {
+			// Deleting every fact the atom contributes always kills every
+			// derivation; infeasibility would be a logic bug.
+			return nil, fmt.Errorf("core: unidimensional candidate for atom %d infeasible", ai)
+		}
+		if best == nil || rep.SideEffect < bestCost ||
+			(rep.SideEffect == bestCost && len(sol.Deleted) < len(best.Deleted)) {
+			best, bestCost = sol, rep.SideEffect
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	return best, nil
+}
+
+// sortSolution orders deletions by key for determinism.
+func sortSolution(sol *Solution) {
+	for i := 1; i < len(sol.Deleted); i++ {
+		for j := i; j > 0 && sol.Deleted[j].Key() < sol.Deleted[j-1].Key(); j-- {
+			sol.Deleted[j], sol.Deleted[j-1] = sol.Deleted[j-1], sol.Deleted[j]
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package cq
+
+import (
+	"testing"
+)
+
+// BenchmarkParse measures the datalog parser.
+func BenchmarkParse(b *testing.B) {
+	src := "Q4(x, y, z, w) :- T1(x, y), T2(y, z, 'const'), T3(z, w, 42)."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsKeyPreserving measures the central predicate.
+func BenchmarkIsKeyPreserving(b *testing.B) {
+	schemas := paperSchemas()
+	q := MustParse("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.IsKeyPreserving(schemas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinimize measures core computation on a foldable query.
+func BenchmarkMinimize(b *testing.B) {
+	q := MustParse("Q(x) :- R(x, y), R(x, z), S(y, w), S(z, w2)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Minimize(q)
+	}
+}

@@ -1,0 +1,44 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics, and that successful parses
+// round-trip through String (for inputs whose constants contain no quote
+// character, which the printer cannot escape).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Q3(x, z) :- T1(x, y), T2(y, z, w).",
+		"Q(x) :- T(x)",
+		"Q(x, y) :- R(x, 'const'), S(y, 42)",
+		"Q(y, y1, y, y2, y, y3) :- T1(y, y1), T2(y, y2), T3(y, y3)",
+		"Q() :- T()",
+		"Q(x :- T(x)",
+		"Q(x) :- ",
+		"", "(", "'", "Q(x) :- T('unterminated",
+		"Q(x) :- T(x) trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if strings.ContainsRune(src, '\'') {
+			// Constants may contain characters String cannot re-quote.
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed: %q -> %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("round trip not stable: %q -> %q -> %q", src, rendered, q2.String())
+		}
+	})
+}

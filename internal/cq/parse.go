@@ -1,0 +1,213 @@
+package cq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrParse is wrapped by all Parse failures.
+var ErrParse = errors.New("cq: parse error")
+
+// Parse parses a conjunctive query in datalog syntax, e.g.
+//
+//	Q3(x, z) :- T1(x, y), T2(y, z, w).
+//
+// Unquoted identifiers are variables; single-quoted literals are constants
+// (the paper's convention of a..c constants vs x..z variables is purely
+// typographic and not enforced). A trailing period is optional.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v (in %q)", ErrParse, err, src)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static workloads.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseProgram parses a newline-separated list of queries, skipping blank
+// lines and lines starting with "%" or "#" (comments).
+func ParseProgram(src string) ([]*Query, error) {
+	var out []*Query
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentRune(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	for p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.peek() == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return Term{}, fmt.Errorf("unterminated constant at offset %d", start)
+		}
+		val := p.src[start:p.pos]
+		p.pos++
+		return C(val), nil
+	}
+	// Bare numbers are constants too, for convenience in workload files.
+	if p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+		start := p.pos
+		for p.pos < len(p.src) && (unicode.IsDigit(rune(p.src[p.pos])) || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		return C(p.src[start:p.pos]), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	return V(name), nil
+}
+
+func (p *parser) termList() ([]Term, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var terms []Term
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return terms, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return terms, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')' at offset %d", p.pos)
+		}
+	}
+}
+
+func (p *parser) atom() (Atom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	terms, err := p.termList()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Relation: name, Terms: terms}, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	head, err := p.termList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(':'); err != nil {
+		return nil, err
+	}
+	if p.peek() != '-' {
+		return nil, fmt.Errorf("expected ':-' at offset %d", p.pos-1)
+	}
+	p.pos++
+	var body []Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, a)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+		p.skipSpace()
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return &Query{Name: name, Head: head, Body: body}, nil
+}

@@ -1,0 +1,199 @@
+package fd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClosure(t *testing.T) {
+	s := NewSet(
+		New([]string{"A"}, []string{"B"}),
+		New([]string{"B"}, []string{"C"}),
+		New([]string{"C", "D"}, []string{"E"}),
+	)
+	got := s.Closure([]string{"A"})
+	want := []string{"A", "B", "C"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Closure(A) = %v, want %v", got, want)
+	}
+	got = s.Closure([]string{"A", "D"})
+	want = []string{"A", "B", "C", "D", "E"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Closure(A,D) = %v, want %v", got, want)
+	}
+	// Empty set: closure is identity.
+	empty := NewSet()
+	if got := empty.Closure([]string{"X"}); !reflect.DeepEqual(got, []string{"X"}) {
+		t.Errorf("empty Closure = %v", got)
+	}
+}
+
+func TestImpliesAndDetermines(t *testing.T) {
+	s := NewSet(
+		New([]string{"A"}, []string{"B"}),
+		New([]string{"B"}, []string{"C"}),
+	)
+	if !s.Implies(New([]string{"A"}, []string{"C"})) {
+		t.Error("transitivity not derived")
+	}
+	if s.Implies(New([]string{"C"}, []string{"A"})) {
+		t.Error("reverse implication wrongly derived")
+	}
+	if !s.Determines([]string{"A"}, "C") || s.Determines([]string{"B"}, "A") {
+		t.Error("Determines wrong")
+	}
+	// Reflexivity.
+	if !NewSet().Implies(New([]string{"A", "B"}, []string{"A"})) {
+		t.Error("reflexivity missing")
+	}
+}
+
+func TestIsSuperkeyAndCandidateKeys(t *testing.T) {
+	uni := []string{"A", "B", "C", "D"}
+	s := NewSet(
+		New([]string{"A"}, []string{"B"}),
+		New([]string{"B"}, []string{"C"}),
+		New([]string{"C"}, []string{"A"}),
+	)
+	if !s.IsSuperkey([]string{"A", "D"}, uni) {
+		t.Error("A,D should be a superkey")
+	}
+	if s.IsSuperkey([]string{"A"}, uni) {
+		t.Error("A alone is not a superkey (misses D)")
+	}
+	keys := s.CandidateKeys(uni)
+	// Candidate keys: {A,D}, {B,D}, {C,D}.
+	if len(keys) != 3 {
+		t.Fatalf("CandidateKeys = %v", keys)
+	}
+	var flat []string
+	for _, k := range keys {
+		if len(k) != 2 || k[1] != "D" {
+			t.Errorf("unexpected key %v", k)
+		}
+		flat = append(flat, k[0])
+	}
+	sort.Strings(flat)
+	if !reflect.DeepEqual(flat, []string{"A", "B", "C"}) {
+		t.Errorf("key heads = %v", flat)
+	}
+}
+
+func TestCandidateKeysMinimality(t *testing.T) {
+	s := NewSet(New([]string{"A"}, []string{"B", "C"}))
+	keys := s.CandidateKeys([]string{"A", "B", "C"})
+	if len(keys) != 1 || !reflect.DeepEqual(keys[0], []string{"A"}) {
+		t.Errorf("CandidateKeys = %v, want [[A]]", keys)
+	}
+	if got := NewSet().CandidateKeys(nil); got != nil {
+		t.Errorf("empty universe keys = %v", got)
+	}
+}
+
+func TestCandidateKeysPanicOnHuge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 21 attributes")
+		}
+	}()
+	uni := make([]string, 21)
+	for i := range uni {
+		uni[i] = string(rune('a' + i))
+	}
+	NewSet().CandidateKeys(uni)
+}
+
+func TestMinimalCover(t *testing.T) {
+	// Classic example: A->BC, B->C, A->B, AB->C minimizes to A->B, B->C.
+	s := NewSet(
+		New([]string{"A"}, []string{"B", "C"}),
+		New([]string{"B"}, []string{"C"}),
+		New([]string{"A"}, []string{"B"}),
+		New([]string{"A", "B"}, []string{"C"}),
+	)
+	mc := s.MinimalCover()
+	if !Equivalent(s, mc) {
+		t.Fatalf("MinimalCover not equivalent: %s vs %s", s, mc)
+	}
+	if mc.Len() != 2 {
+		t.Errorf("MinimalCover = %s, want 2 FDs", mc)
+	}
+	for _, f := range mc.FDs() {
+		if len(f.LHS) != 1 || len(f.RHS) != 1 {
+			t.Errorf("non-canonical FD in cover: %s", f)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := NewSet(New([]string{"A"}, []string{"B"}), New([]string{"B"}, []string{"C"}))
+	b := NewSet(New([]string{"A"}, []string{"B", "C"}), New([]string{"B"}, []string{"C"}))
+	if !Equivalent(a, b) {
+		t.Error("equivalent sets not recognized")
+	}
+	c := NewSet(New([]string{"A"}, []string{"B"}))
+	if Equivalent(a, c) {
+		t.Error("inequivalent sets reported equivalent")
+	}
+}
+
+func TestFDNormalization(t *testing.T) {
+	f := New([]string{"B", "A", "B"}, []string{"C", "C"})
+	if !reflect.DeepEqual(f.LHS, []string{"A", "B"}) || !reflect.DeepEqual(f.RHS, []string{"C"}) {
+		t.Errorf("normalization: %v", f)
+	}
+	if f.String() != "A,B->C" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+// Property: closure is monotone, extensive and idempotent.
+func TestClosurePropertiesQuick(t *testing.T) {
+	attrs := []string{"A", "B", "C", "D", "E"}
+	mkSet := func(seed uint8) *Set {
+		s := NewSet()
+		for i := 0; i < 3; i++ {
+			l := attrs[int(seed+uint8(i))%5]
+			r := attrs[int(seed*3+uint8(i)*7)%5]
+			s.Add(New([]string{l}, []string{r}))
+		}
+		return s
+	}
+	f := func(seed uint8, pick uint8) bool {
+		s := mkSet(seed)
+		base := []string{attrs[int(pick)%5]}
+		cl := s.Closure(base)
+		// Extensive.
+		found := false
+		for _, a := range cl {
+			if a == base[0] {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		// Idempotent.
+		if !reflect.DeepEqual(s.Closure(cl), cl) {
+			return false
+		}
+		// Monotone: closure of superset contains closure of base.
+		super := append([]string{attrs[(int(pick)+1)%5]}, base...)
+		clSuper := s.Closure(super)
+		m := map[string]bool{}
+		for _, a := range clSuper {
+			m[a] = true
+		}
+		for _, a := range cl {
+			if !m[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

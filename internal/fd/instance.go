@@ -1,0 +1,104 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"delprop/internal/relation"
+)
+
+// Violation is one functional-dependency violation in an instance: two
+// tuples of a relation agreeing on the FD's LHS attributes but differing
+// on some RHS attribute.
+type Violation struct {
+	Relation string
+	FD       FD
+	A, B     relation.Tuple
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s violated by %s and %s", v.Relation, v.FD, v.A, v.B)
+}
+
+// Tuples returns the two offending tuple identities.
+func (v Violation) Tuples() []relation.TupleID {
+	return []relation.TupleID{
+		{Relation: v.Relation, Tuple: v.A},
+		{Relation: v.Relation, Tuple: v.B},
+	}
+}
+
+// CheckInstance validates a database against per-relation attribute FDs
+// and returns every violation (each offending pair reported once, in
+// deterministic order). Unknown attributes in an FD are an error; key
+// constraints need no checking here — the relation package enforces them
+// on insert.
+func CheckInstance(db *relation.Instance, attrFDs map[string]*Set) ([]Violation, error) {
+	var out []Violation
+	names := make([]string, 0, len(attrFDs))
+	for name := range attrFDs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		set := attrFDs[name]
+		rel := db.Relation(name)
+		if rel == nil {
+			return nil, fmt.Errorf("fd: unknown relation %s", name)
+		}
+		schema := rel.Schema()
+		pos := make(map[string]int, schema.Arity())
+		for i, a := range schema.Attrs {
+			pos[a] = i
+		}
+		for _, f := range set.FDs() {
+			lhs, err := positionsOf(pos, f.LHS, name)
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := positionsOf(pos, f.RHS, name)
+			if err != nil {
+				return nil, err
+			}
+			// Group by LHS projection; first tuple per group is the
+			// witness, later disagreeing tuples are violations.
+			groups := make(map[string]relation.Tuple)
+			for _, t := range rel.Tuples() {
+				key := t.Project(lhs).Encode()
+				w, ok := groups[key]
+				if !ok {
+					groups[key] = t
+					continue
+				}
+				if !w.Project(rhs).Equal(t.Project(rhs)) {
+					out = append(out, Violation{Relation: name, FD: f, A: w, B: t})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+func positionsOf(pos map[string]int, attrs []string, rel string) ([]int, error) {
+	ps := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		p, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("fd: relation %s has no attribute %q (has %s)", rel, a, strings.Join(keysOf(pos), ","))
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

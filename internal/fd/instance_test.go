@@ -1,0 +1,99 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"delprop/internal/relation"
+)
+
+func instDB(t *testing.T) *relation.Instance {
+	t.Helper()
+	db := relation.NewInstance(
+		relation.MustSchema("Emp", []string{"name", "dept", "floor"}, []int{0}),
+	)
+	db.MustInsert("Emp", "ada", "eng", "3")
+	db.MustInsert("Emp", "bob", "eng", "3")
+	db.MustInsert("Emp", "cyd", "eng", "4") // violates dept->floor
+	db.MustInsert("Emp", "dee", "ops", "1")
+	return db
+}
+
+func TestCheckInstanceFindsViolation(t *testing.T) {
+	db := instDB(t)
+	fds := map[string]*Set{
+		"Emp": NewSet(New([]string{"dept"}, []string{"floor"})),
+	}
+	vs, err := CheckInstance(db, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	v := vs[0]
+	if v.Relation != "Emp" || v.FD.String() != "dept->floor" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "dept->floor violated") {
+		t.Errorf("String = %q", v.String())
+	}
+	if ids := v.Tuples(); len(ids) != 2 || ids[0].Relation != "Emp" {
+		t.Errorf("Tuples = %v", ids)
+	}
+}
+
+func TestCheckInstanceClean(t *testing.T) {
+	db := instDB(t)
+	fds := map[string]*Set{
+		"Emp": NewSet(New([]string{"name"}, []string{"dept", "floor"})),
+	}
+	vs, err := CheckInstance(db, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("unexpected violations: %v", vs)
+	}
+}
+
+func TestCheckInstanceMultipleViolations(t *testing.T) {
+	db := relation.NewInstance(relation.MustSchema("T", []string{"a", "b"}, []int{0}))
+	db.MustInsert("T", "1", "x")
+	db.MustInsert("T", "2", "y")
+	db.MustInsert("T", "3", "z")
+	// FD: everything shares the same b. Witness is the first tuple; the
+	// other two each violate.
+	fds := map[string]*Set{"T": NewSet(New(nil, []string{"b"}))}
+	// Empty LHS means "all tuples agree on b".
+	vs, err := CheckInstance(db, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Errorf("violations = %d, want 2: %v", len(vs), vs)
+	}
+}
+
+func TestCheckInstanceErrors(t *testing.T) {
+	db := instDB(t)
+	if _, err := CheckInstance(db, map[string]*Set{"Nope": NewSet()}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	bad := map[string]*Set{"Emp": NewSet(New([]string{"ghost"}, []string{"floor"}))}
+	if _, err := CheckInstance(db, bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestCheckInstanceDeterministic(t *testing.T) {
+	db := instDB(t)
+	fds := map[string]*Set{
+		"Emp": NewSet(New([]string{"dept"}, []string{"floor"})),
+	}
+	a, _ := CheckInstance(db, fds)
+	b, _ := CheckInstance(db, fds)
+	if len(a) != len(b) || (len(a) > 0 && a[0].String() != b[0].String()) {
+		t.Error("non-deterministic violations")
+	}
+}

@@ -1,0 +1,183 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// s -> a -> t with capacities 3, 2: flow 2.
+	g := NewNetwork(3)
+	mustEdge(t, g, 0, 1, 3)
+	mustEdge(t, g, 1, 2, 2)
+	f, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 {
+		t.Errorf("flow = %d, want 2", f)
+	}
+}
+
+func mustEdge(t *testing.T, g *Network, u, v int, c int64) {
+	t.Helper()
+	if _, err := g.AddEdge(u, v, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// Classic 6-node example with max flow 23 (CLRS figure).
+	g := NewNetwork(6)
+	edges := []struct {
+		u, v int
+		c    int64
+	}{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	}
+	for _, e := range edges {
+		mustEdge(t, g, e.u, e.v, e.c)
+	}
+	f, err := g.MaxFlow(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 23 {
+		t.Errorf("flow = %d, want 23", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewNetwork(4)
+	mustEdge(t, g, 0, 1, 5)
+	mustEdge(t, g, 2, 3, 5)
+	f, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("flow = %d, want 0", f)
+	}
+}
+
+func TestMaxFlowErrors(t *testing.T) {
+	g := NewNetwork(2)
+	if _, err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := g.AddEdge(0, 1, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := g.MaxFlow(0, 0); err == nil {
+		t.Error("s == t accepted")
+	}
+	if _, err := g.MaxFlow(0, 9); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	// Bottleneck edge a->b: cut side = {s, a}.
+	g := NewNetwork(4)
+	mustEdge(t, g, 0, 1, 10)
+	mustEdge(t, g, 1, 2, 1)
+	mustEdge(t, g, 2, 3, 10)
+	if _, err := g.MaxFlow(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	side := g.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut side = %v", side)
+	}
+}
+
+func TestBipartiteVertexCoverPath(t *testing.T) {
+	// Path L0-R0, L1-R0: cover = {R0}.
+	left, right, err := BipartiteVertexCover(2, 1, [][2]int{{0, 0}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 || len(right) != 1 || right[0] != 0 {
+		t.Errorf("cover = L%v R%v, want R[0]", left, right)
+	}
+}
+
+func TestBipartiteVertexCoverMatching(t *testing.T) {
+	// Perfect matching of size 3: cover size 3.
+	edges := [][2]int{{0, 0}, {1, 1}, {2, 2}}
+	left, right, err := BipartiteVertexCover(3, 3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left)+len(right) != 3 {
+		t.Errorf("cover size = %d, want 3", len(left)+len(right))
+	}
+}
+
+func TestBipartiteVertexCoverEdgeValidation(t *testing.T) {
+	if _, _, err := BipartiteVertexCover(1, 1, [][2]int{{0, 5}}); err == nil {
+		t.Error("bad edge accepted")
+	}
+}
+
+// TestBipartiteVertexCoverRandom verifies König against brute force on
+// random bipartite graphs: the cover covers every edge and matches the
+// brute-force minimum size.
+func TestBipartiteVertexCoverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		nL, nR := 1+rng.Intn(5), 1+rng.Intn(5)
+		var edges [][2]int
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, [2]int{l, r})
+				}
+			}
+		}
+		left, right, err := BipartiteVertexCover(nL, nR, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCover := map[[2]int]bool{}
+		for _, l := range left {
+			inCover[[2]int{0, l}] = true
+		}
+		for _, r := range right {
+			inCover[[2]int{1, r}] = true
+		}
+		for _, e := range edges {
+			if !inCover[[2]int{0, e[0]}] && !inCover[[2]int{1, e[1]}] {
+				t.Fatalf("trial %d: edge %v uncovered", trial, e)
+			}
+		}
+		// Brute force minimum.
+		best := nL + nR
+		total := nL + nR
+		for mask := 0; mask < 1<<total; mask++ {
+			ok := true
+			for _, e := range edges {
+				if mask&(1<<e[0]) == 0 && mask&(1<<(nL+e[1])) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				size := 0
+				for i := 0; i < total; i++ {
+					if mask&(1<<i) != 0 {
+						size++
+					}
+				}
+				if size < best {
+					best = size
+				}
+			}
+		}
+		if got := len(left) + len(right); got != best {
+			t.Errorf("trial %d: cover size %d, brute force %d", trial, got, best)
+		}
+	}
+}

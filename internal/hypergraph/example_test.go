@@ -1,0 +1,38 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"delprop/internal/hypergraph"
+)
+
+// Example reproduces the Fig. 3(b) hypertree test: the query set
+// {Q1, Q3, Q5} over relations T1..T3 admits a host tree.
+func Example() {
+	h := hypergraph.New()
+	h.AddEdge(hypergraph.NewEdge("Q1", "T1", "T2", "T3"))
+	h.AddEdge(hypergraph.NewEdge("Q3", "T1", "T2"))
+	h.AddEdge(hypergraph.NewEdge("Q5", "T2", "T3"))
+	fmt.Println("hypertree:", h.IsHypertree())
+	// Adding Q4 = {T1, T3} creates the Fig. 3(a) non-hypertree.
+	h.AddEdge(hypergraph.NewEdge("Q4", "T1", "T3"))
+	fmt.Println("after Q4:", h.IsHypertree())
+	// Output:
+	// hypertree: true
+	// after Q4: false
+}
+
+// ExampleHypergraph_GYOAcyclic shows the classic α-acyclicity test.
+func ExampleHypergraph_GYOAcyclic() {
+	triangle := hypergraph.New()
+	triangle.AddEdge(hypergraph.NewEdge("e1", "a", "b"))
+	triangle.AddEdge(hypergraph.NewEdge("e2", "b", "c"))
+	triangle.AddEdge(hypergraph.NewEdge("e3", "a", "c"))
+	fmt.Println("triangle acyclic:", triangle.GYOAcyclic())
+	// Covering the triangle with a big edge makes it α-acyclic.
+	triangle.AddEdge(hypergraph.NewEdge("e0", "a", "b", "c"))
+	fmt.Println("covered acyclic:", triangle.GYOAcyclic())
+	// Output:
+	// triangle acyclic: false
+	// covered acyclic: true
+}

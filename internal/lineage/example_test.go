@@ -1,0 +1,39 @@
+package lineage_test
+
+import (
+	"fmt"
+
+	"delprop/internal/cq"
+	"delprop/internal/lineage"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+)
+
+// Example explains the provenance of one view tuple.
+func Example() {
+	db := relation.NewInstance(
+		relation.MustSchema("Emp", []string{"name", "dept"}, []int{0}),
+		relation.MustSchema("Dept", []string{"dept", "floor"}, []int{0}),
+	)
+	db.MustInsert("Emp", "ada", "eng")
+	db.MustInsert("Dept", "eng", "3")
+	views, err := view.Materialize([]*cq.Query{
+		cq.MustParse("Where(n, f) :- Emp(n, d), Dept(d, f)"),
+	}, db)
+	if err != nil {
+		panic(err)
+	}
+	why, err := lineage.Why(views, view.TupleRef{View: 0, Tuple: relation.Tuple{"ada", "3"}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(why[0])
+	cells, err := lineage.Where(views, view.TupleRef{View: 0, Tuple: relation.Tuple{"ada", "3"}}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cells[0])
+	// Output:
+	// {Dept(eng,3), Emp(ada,eng)}
+	// Dept(eng,3)[1]
+}

@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchRelation(b *testing.B, n int) *Relation {
+	b.Helper()
+	r := NewRelation(MustSchema("T", []string{"a", "b", "c"}, []int{0}))
+	for i := 0; i < n; i++ {
+		if err := r.Insert(Tuple{
+			Value(fmt.Sprintf("k%d", i)),
+			Value(fmt.Sprintf("v%d", i%37)),
+			Value(fmt.Sprintf("w%d", i%11)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkInsert measures keyed inserts including constraint checks.
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewRelation(MustSchema("T", []string{"a", "b"}, []int{0}))
+		b.StartTimer()
+		for j := 0; j < 1000; j++ {
+			if err := r.Insert(Tuple{Value(fmt.Sprintf("k%d", j)), "v"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLookupKey measures key-index point lookups.
+func BenchmarkLookupKey(b *testing.B) {
+	r := benchRelation(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.LookupKey(Tuple{Value(fmt.Sprintf("k%d", i%1000))}); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkBuildIndex measures secondary index construction.
+func BenchmarkBuildIndex(b *testing.B) {
+	r := benchRelation(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildIndex(r, []int{1, 2})
+	}
+}
+
+// BenchmarkEncode measures the canonical tuple encoding.
+func BenchmarkEncode(b *testing.B) {
+	t := Tuple{"some", "tuple", "with", "five", "values"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Encode()
+	}
+}

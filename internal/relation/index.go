@@ -1,0 +1,39 @@
+package relation
+
+// Index is a secondary hash index over an arbitrary set of attribute
+// positions of a relation, mapping each projection value to the list of
+// matching tuples. The conjunctive-query evaluator builds one per (atom,
+// bound-position-set) pair to turn joins into point lookups.
+type Index struct {
+	positions []int
+	buckets   map[string][]Tuple
+}
+
+// BuildIndex builds an index on the given positions over the relation's
+// current contents. The index is a snapshot: later mutations of the relation
+// are not reflected.
+func BuildIndex(r *Relation, positions []int) *Index {
+	idx := &Index{
+		positions: append([]int(nil), positions...),
+		buckets:   make(map[string][]Tuple),
+	}
+	for _, t := range r.Tuples() {
+		k := t.Project(positions).Encode()
+		idx.buckets[k] = append(idx.buckets[k], t)
+	}
+	return idx
+}
+
+// Lookup returns all tuples whose projection on the index positions equals
+// key. The returned slice is shared and must not be mutated.
+func (idx *Index) Lookup(key Tuple) []Tuple {
+	return idx.buckets[key.Encode()]
+}
+
+// Positions returns the indexed attribute positions.
+func (idx *Index) Positions() []int {
+	return append([]int(nil), idx.positions...)
+}
+
+// Buckets returns the number of distinct keys in the index.
+func (idx *Index) Buckets() int { return len(idx.buckets) }

@@ -1,0 +1,444 @@
+// Package relation implements the in-memory relational substrate used by the
+// deletion-propagation library: schemas with per-relation keys, relation
+// instances with key-constraint enforcement, tuple identity, and secondary
+// indexes used by the conjunctive-query evaluator.
+//
+// The model follows Section II.A of Cai, Miao, Li, "Deletion Propagation for
+// Multiple Key Preserving Conjunctive Queries" (ICDE 2019): an instance is a
+// finite set of facts T(t) over string constants, and every relation carries
+// a key, i.e. a set of attribute positions on which no two tuples agree.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a database constant. The paper draws constants from an abstract
+// set Const; we use strings, which subsume the integer identifiers used in
+// the synthetic workloads.
+type Value string
+
+// Tuple is an ordered list of constants; its arity is the arity of the
+// relation it belongs to.
+type Tuple []Value
+
+// Clone returns a deep copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether t and u have the same arity and the same constants
+// in every position.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as (a,b,c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Encode produces a canonical string encoding of the tuple, injective for
+// tuples of the same arity, usable as a map key. Values are length-prefixed
+// so that no two distinct tuples collide.
+func (t Tuple) Encode() string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d:%s;", len(v), string(v))
+	}
+	return b.String()
+}
+
+// Project returns the sub-tuple at the given positions. It panics if a
+// position is out of range, which indicates a schema bug rather than a data
+// error.
+func (t Tuple) Project(positions []int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// TupleID identifies a base tuple inside an instance: the relation it lives
+// in plus its full value. Because full tuples are set-unique within a
+// relation, this is a sound identity.
+type TupleID struct {
+	Relation string
+	Tuple    Tuple
+}
+
+// Key returns a canonical map key for the identity.
+func (id TupleID) Key() string {
+	return id.Relation + "|" + id.Tuple.Encode()
+}
+
+// String renders the identity as Relation(a,b,c).
+func (id TupleID) String() string {
+	return id.Relation + id.Tuple.String()
+}
+
+// Schema describes one relation symbol: a name, attribute names, and the key
+// attribute positions. Every relation in the paper's setting carries a key
+// (Section II.B, "key preserving").
+type Schema struct {
+	Name  string
+	Attrs []string
+	// Key lists the attribute positions forming the (primary) key. It must
+	// be non-empty and strictly increasing.
+	Key []int
+}
+
+// NewSchema builds a relation schema. Attribute names must be unique and the
+// key positions valid; otherwise an error is returned.
+func NewSchema(name string, attrs []string, key []int) (*Schema, error) {
+	if name == "" {
+		return nil, errors.New("relation: empty relation name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation %s: zero arity", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation %s: empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("relation %s: empty key", name)
+	}
+	prev := -1
+	for _, p := range key {
+		if p <= prev {
+			return nil, fmt.Errorf("relation %s: key positions must be strictly increasing, got %v", name, key)
+		}
+		if p < 0 || p >= len(attrs) {
+			return nil, fmt.Errorf("relation %s: key position %d out of range [0,%d)", name, p, len(attrs))
+		}
+		prev = p
+	}
+	return &Schema{Name: name, Attrs: append([]string(nil), attrs...), Key: append([]int(nil), key...)}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and static
+// workload definitions.
+func MustSchema(name string, attrs []string, key []int) *Schema {
+	s, err := NewSchema(name, attrs, key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// IsKeyPos reports whether attribute position p belongs to the key.
+func (s *Schema) IsKeyPos(p int) bool {
+	for _, k := range s.Key {
+		if k == p {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyOf projects the key positions out of a full tuple.
+func (s *Schema) KeyOf(t Tuple) Tuple { return t.Project(s.Key) }
+
+// String renders the schema as Name(a, b*, c) with key attributes starred.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if s.IsKeyPos(i) {
+			parts[i] = a + "*"
+		} else {
+			parts[i] = a
+		}
+	}
+	return s.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Errors returned by Relation and Instance mutation methods.
+var (
+	// ErrArity is returned when a tuple's length does not match the schema.
+	ErrArity = errors.New("relation: tuple arity mismatch")
+	// ErrKeyViolation is returned on insert of a tuple whose key values
+	// collide with a different existing tuple.
+	ErrKeyViolation = errors.New("relation: key constraint violation")
+	// ErrNoSuchRelation is returned when an operation names an unknown
+	// relation.
+	ErrNoSuchRelation = errors.New("relation: no such relation")
+	// ErrDuplicate is returned on insert of a tuple already present.
+	ErrDuplicate = errors.New("relation: duplicate tuple")
+)
+
+// Relation is a finite set of tuples over a schema, with the key constraint
+// enforced on insert. It maintains a key index for point lookups.
+type Relation struct {
+	schema *Schema
+	// tuples maps full-tuple encodings to the tuple.
+	tuples map[string]Tuple
+	// keyIdx maps key encodings to full-tuple encodings.
+	keyIdx map[string]string
+	// order remembers insertion order of encodings so iteration is stable.
+	order []string
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{
+		schema: schema,
+		tuples: make(map[string]Tuple),
+		keyIdx: make(map[string]string),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple. It returns ErrArity on arity mismatch,
+// ErrDuplicate if the exact tuple is already present, and ErrKeyViolation
+// if a different tuple with the same key values exists.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("%w: relation %s expects arity %d, got %d", ErrArity, r.schema.Name, r.schema.Arity(), len(t))
+	}
+	enc := t.Encode()
+	if _, ok := r.tuples[enc]; ok {
+		return fmt.Errorf("%w: %s%s", ErrDuplicate, r.schema.Name, t)
+	}
+	kenc := r.schema.KeyOf(t).Encode()
+	if other, ok := r.keyIdx[kenc]; ok {
+		return fmt.Errorf("%w: %s%s collides on key with %s%s", ErrKeyViolation, r.schema.Name, t, r.schema.Name, r.tuples[other])
+	}
+	t = t.Clone()
+	r.tuples[enc] = t
+	r.keyIdx[kenc] = enc
+	r.order = append(r.order, enc)
+	return nil
+}
+
+// Contains reports whether the exact tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.Encode()]
+	return ok
+}
+
+// LookupKey returns the unique tuple with the given key values, if any.
+func (r *Relation) LookupKey(key Tuple) (Tuple, bool) {
+	enc, ok := r.keyIdx[key.Encode()]
+	if !ok {
+		return nil, false
+	}
+	return r.tuples[enc], true
+}
+
+// Delete removes the exact tuple, reporting whether it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	enc := t.Encode()
+	stored, ok := r.tuples[enc]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, enc)
+	delete(r.keyIdx, r.schema.KeyOf(stored).Encode())
+	// Compact the iteration order so a later re-insert of the same tuple
+	// cannot appear twice.
+	for i, e := range r.order {
+		if e == enc {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Tuples returns all tuples in insertion order. The returned slice is fresh;
+// the tuples are shared and must not be mutated.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, enc := range r.order {
+		if t, ok := r.tuples[enc]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	for _, t := range r.Tuples() {
+		// Insert cannot fail: tuples came from a consistent relation.
+		if err := c.Insert(t); err != nil {
+			panic("relation: clone insert failed: " + err.Error())
+		}
+	}
+	return c
+}
+
+// Instance is a database instance: a collection of relations, one per
+// relation symbol of the schema.
+type Instance struct {
+	rels  map[string]*Relation
+	names []string
+}
+
+// NewInstance creates an instance with the given relation schemas.
+func NewInstance(schemas ...*Schema) *Instance {
+	db := &Instance{rels: make(map[string]*Relation)}
+	for _, s := range schemas {
+		db.AddRelation(s)
+	}
+	return db
+}
+
+// AddRelation registers a new empty relation; replacing an existing one is
+// not allowed and panics, since schemas are static in this library.
+func (db *Instance) AddRelation(s *Schema) *Relation {
+	if _, ok := db.rels[s.Name]; ok {
+		panic("relation: duplicate relation " + s.Name)
+	}
+	r := NewRelation(s)
+	db.rels[s.Name] = r
+	db.names = append(db.names, s.Name)
+	return r
+}
+
+// Relation returns the named relation, or nil if absent.
+func (db *Instance) Relation(name string) *Relation { return db.rels[name] }
+
+// HasRelation reports whether the instance has a relation with this name.
+func (db *Instance) HasRelation(name string) bool {
+	_, ok := db.rels[name]
+	return ok
+}
+
+// RelationNames returns relation names in registration order.
+func (db *Instance) RelationNames() []string {
+	return append([]string(nil), db.names...)
+}
+
+// Insert adds a tuple to the named relation.
+func (db *Instance) Insert(rel string, t Tuple) error {
+	r, ok := db.rels[rel]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRelation, rel)
+	}
+	return r.Insert(t)
+}
+
+// MustInsert inserts and panics on error; for tests and static workloads.
+func (db *Instance) MustInsert(rel string, vals ...string) {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Value(v)
+	}
+	if err := db.Insert(rel, t); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes a tuple from the named relation, reporting whether it was
+// present. Deleting from an unknown relation returns false.
+func (db *Instance) Delete(id TupleID) bool {
+	r, ok := db.rels[id.Relation]
+	if !ok {
+		return false
+	}
+	return r.Delete(id.Tuple)
+}
+
+// Contains reports whether the identified tuple is present.
+func (db *Instance) Contains(id TupleID) bool {
+	r, ok := db.rels[id.Relation]
+	if !ok {
+		return false
+	}
+	return r.Contains(id.Tuple)
+}
+
+// Size returns the total number of tuples across all relations (|D|).
+func (db *Instance) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// AllTuples returns the identities of every tuple in the instance, relations
+// in registration order, tuples in insertion order.
+func (db *Instance) AllTuples() []TupleID {
+	out := make([]TupleID, 0, db.Size())
+	for _, name := range db.names {
+		for _, t := range db.rels[name].Tuples() {
+			out = append(out, TupleID{Relation: name, Tuple: t})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (db *Instance) Clone() *Instance {
+	c := &Instance{rels: make(map[string]*Relation, len(db.rels)), names: append([]string(nil), db.names...)}
+	for name, r := range db.rels {
+		c.rels[name] = r.Clone()
+	}
+	return c
+}
+
+// Without returns a copy of the instance with the given tuples removed
+// (D \ ΔD). Unknown tuples are ignored.
+func (db *Instance) Without(deleted []TupleID) *Instance {
+	c := db.Clone()
+	for _, id := range deleted {
+		c.Delete(id)
+	}
+	return c
+}
+
+// String renders the instance relation by relation, tuples sorted, for
+// debugging and golden tests.
+func (db *Instance) String() string {
+	var b strings.Builder
+	for _, name := range db.names {
+		r := db.rels[name]
+		fmt.Fprintf(&b, "%s:\n", r.schema)
+		lines := make([]string, 0, r.Len())
+		for _, t := range r.Tuples() {
+			lines = append(lines, "  "+t.String())
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

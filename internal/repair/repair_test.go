@@ -1,0 +1,223 @@
+package repair
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"delprop/internal/core"
+	"delprop/internal/cq"
+	"delprop/internal/fd"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+	"delprop/internal/workload"
+)
+
+// session builds a planted-error cleaning session over a star workload.
+func session(t *testing.T, seed int64, mode Mode) (*Session, map[string]bool) {
+	t.Helper()
+	wl := workload.Star(workload.StarConfig{
+		Seed: seed, Relations: 4, HubValues: 4, RowsPerRelation: 8,
+		Queries: 3, AtomsPerQuery: 2,
+	})
+	db := wl.DB.Clone()
+	corrupt := map[string]bool{}
+	for _, id := range workload.PlantedErrors(db, 0.15, seed+500) {
+		corrupt[id.Key()] = true
+	}
+	return &Session{
+		DB:      db,
+		Queries: wl.Queries,
+		Oracle:  PlantedOracle(corrupt),
+		Mode:    mode,
+		Rng:     rand.New(rand.NewSource(seed + 900)),
+	}, corrupt
+}
+
+func TestSessionConverges(t *testing.T) {
+	for _, mode := range []Mode{Batch, Sequential} {
+		for seed := int64(1); seed <= 4; seed++ {
+			s, _ := session(t, seed, mode)
+			reports, err := s.Run(50, 5)
+			if err != nil {
+				t.Fatalf("mode %v seed %d: %v", mode, seed, err)
+			}
+			if len(reports) == 0 {
+				t.Fatalf("mode %v seed %d: no rounds", mode, seed)
+			}
+			last := reports[len(reports)-1]
+			if last.Wrong != 0 {
+				t.Errorf("mode %v seed %d: did not converge (last wrong = %d)", mode, seed, last.Wrong)
+			}
+		}
+	}
+}
+
+func TestSessionMonotoneCleanup(t *testing.T) {
+	s, corrupt := session(t, 3, Batch)
+	before := s.DB.Size()
+	reports, err := s.Run(50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Database only shrinks; deletions counted match.
+	total := 0
+	for _, r := range reports {
+		total += len(r.Deleted)
+	}
+	if s.DB.Size() != before-total {
+		t.Errorf("size %d, want %d - %d", s.DB.Size(), before, total)
+	}
+	if s.TotalDeleted() != total {
+		t.Errorf("TotalDeleted = %d, want %d", s.TotalDeleted(), total)
+	}
+	// After convergence, no surviving view tuple touches a surviving
+	// corrupt tuple.
+	p, err := core.NewProblem(s.DB, s.Queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := PlantedOracle(prune(corrupt, s))
+	for _, v := range p.Views {
+		for _, ans := range v.Result.Answers() {
+			if oracle(p, view.TupleRef{View: v.Index, Tuple: ans.Tuple}) {
+				t.Fatalf("wrong view tuple survived: %v", ans.Tuple)
+			}
+		}
+	}
+}
+
+// prune drops corrupt entries whose tuples were deleted.
+func prune(corrupt map[string]bool, s *Session) map[string]bool {
+	out := map[string]bool{}
+	for _, id := range s.DB.AllTuples() {
+		if corrupt[id.Key()] {
+			out[id.Key()] = true
+		}
+	}
+	return out
+}
+
+func TestSessionErrors(t *testing.T) {
+	s, _ := session(t, 1, Batch)
+	s.Oracle = nil
+	if _, _, err := s.Round(1, 3); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("err = %v, want ErrNoOracle", err)
+	}
+	s2, _ := session(t, 1, Mode(99))
+	if _, _, err := s2.Round(1, 3); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	run := func() []RoundReport {
+		s, _ := session(t, 7, Batch)
+		reports, err := s.Run(10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("round counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Wrong != b[i].Wrong || a[i].Marked != b[i].Marked || len(a[i].Deleted) != len(b[i].Deleted) {
+			t.Errorf("round %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFDOracleSession: rule-based cleaning — FD violations drive the
+// oracle, and the session deletes until the visible views are free of
+// violation-derived tuples.
+func TestFDOracleSession(t *testing.T) {
+	db := relation.NewInstance(
+		relation.MustSchema("Emp", []string{"name", "dept", "floor"}, []int{0}),
+		relation.MustSchema("Dept", []string{"dept", "head"}, []int{0}),
+	)
+	db.MustInsert("Emp", "ada", "eng", "3")
+	db.MustInsert("Emp", "bob", "eng", "4") // violates dept->floor with ada
+	db.MustInsert("Emp", "cyd", "ops", "1")
+	db.MustInsert("Dept", "eng", "hopper")
+	db.MustInsert("Dept", "ops", "ritchie")
+	queries := []*cq.Query{
+		cq.MustParse("Q(n, d, h) :- Emp(n, d, f), Dept(d, h)"),
+	}
+	attrFDs := map[string]*fd.Set{
+		"Emp": fd.NewSet(fd.New([]string{"dept"}, []string{"floor"})),
+	}
+	s := &Session{
+		DB:      db,
+		Queries: queries,
+		Oracle:  FDOracle(attrFDs),
+		Mode:    Batch,
+		Rng:     rand.New(rand.NewSource(1)),
+	}
+	reports, err := s.Run(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Wrong != 2 { // ada and bob rows both join Dept
+		t.Errorf("initial wrong = %d, want 2", reports[0].Wrong)
+	}
+	last := reports[len(reports)-1]
+	if last.Wrong != 0 {
+		t.Errorf("did not converge: %+v", reports)
+	}
+	// Deletion propagation removes wrong ANSWERS, not base facts: the
+	// cheapest deletion here is the Dept(eng) row (zero view
+	// side-effect), after which the Emp violation still exists but is no
+	// longer visible through any view. Assert exactly that: no view tuple
+	// derives from a violating tuple any more.
+	p, err := core.NewProblem(s.DB, s.Queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := FDOracle(attrFDs)
+	for _, v := range p.Views {
+		for _, ans := range v.Result.Answers() {
+			if oracle(p, view.TupleRef{View: v.Index, Tuple: ans.Tuple}) {
+				t.Errorf("wrong view tuple still visible: %v", ans.Tuple)
+			}
+		}
+	}
+	// The ops row is untouched.
+	if !s.DB.Contains(relation.TupleID{Relation: "Emp", Tuple: relation.Tuple{"cyd", "ops", "1"}}) {
+		t.Error("clean row deleted")
+	}
+}
+
+// TestBatchVsSequentialCost: over seeds, batch never deletes more clean
+// tuples in total than sequential on the same seed... not guaranteed
+// instance-wise, so assert the aggregate.
+func TestBatchVsSequentialAggregate(t *testing.T) {
+	batchGood, seqGood := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, mode := range []Mode{Batch, Sequential} {
+			s, corrupt := session(t, seed, mode)
+			reports, err := s.Run(50, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			good := 0
+			for _, r := range reports {
+				for _, id := range r.Deleted {
+					if !corrupt[id.Key()] {
+						good++
+					}
+				}
+			}
+			if mode == Batch {
+				batchGood += good
+			} else {
+				seqGood += good
+			}
+		}
+	}
+	if batchGood > seqGood {
+		t.Logf("batch sacrificed %d clean tuples vs sequential %d (aggregate; paper predicts batch ≤ sequential usually)", batchGood, seqGood)
+	}
+}

@@ -1,0 +1,422 @@
+// Package server exposes the deletion-propagation library over HTTP with
+// JSON payloads: solve instances, classify query sets, and explain view
+// tuple lineage. The cmd/delpropd binary mounts it; tests drive it through
+// httptest. Inputs reuse the textio database format and datalog query
+// syntax, so files accepted by the CLI can be POSTed verbatim.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"delprop/internal/classify"
+	"delprop/internal/core"
+	"delprop/internal/cq"
+	"delprop/internal/lineage"
+	"delprop/internal/relation"
+	"delprop/internal/textio"
+	"delprop/internal/view"
+)
+
+// New returns the HTTP handler with all routes mounted.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", handleSolve)
+	mux.HandleFunc("POST /classify", handleClassify)
+	mux.HandleFunc("POST /lineage", handleLineage)
+	mux.HandleFunc("POST /resilience", handleResilience)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// InstanceRequest is the common instance payload: textio database, datalog
+// queries, and (for solve) a textio deletion request.
+type InstanceRequest struct {
+	Database  string `json:"database"`
+	Queries   string `json:"queries"`
+	Deletions string `json:"deletions,omitempty"`
+	// Solver names a core solver ("auto" default; see cmd/delprop).
+	Solver string `json:"solver,omitempty"`
+	// Weights maps "Qname(v1,v2,...)" view tuples to preservation
+	// weights.
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// TupleJSON is one source tuple in responses.
+type TupleJSON struct {
+	Relation string   `json:"relation"`
+	Values   []string `json:"values"`
+}
+
+// SolveResponse reports a computed deletion.
+type SolveResponse struct {
+	Solver       string      `json:"solver"`
+	Deleted      []TupleJSON `json:"deleted"`
+	Feasible     bool        `json:"feasible"`
+	SideEffect   float64     `json:"sideEffect"`
+	Collateral   []string    `json:"collateral,omitempty"`
+	BadRemaining int         `json:"badRemaining"`
+	Balanced     float64     `json:"balanced"`
+	LowerBound   *float64    `json:"lowerBound,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// buildProblem parses the shared instance payload.
+func buildProblem(req *InstanceRequest) (*core.Problem, []*cq.Query, error) {
+	db, err := textio.ParseDatabase(req.Database)
+	if err != nil {
+		return nil, nil, fmt.Errorf("database: %w", err)
+	}
+	queries, err := cq.ParseProgram(req.Queries)
+	if err != nil {
+		return nil, nil, fmt.Errorf("queries: %w", err)
+	}
+	if len(queries) == 0 {
+		return nil, nil, errors.New("queries: empty program")
+	}
+	var delta *view.Deletion
+	if req.Deletions != "" {
+		delta, err = textio.ParseDeletions(req.Deletions, queries)
+		if err != nil {
+			return nil, nil, fmt.Errorf("deletions: %w", err)
+		}
+	}
+	p, err := core.NewProblem(db, queries, delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	if req.Weights != nil {
+		byName := make(map[string]int, len(queries))
+		for i, q := range queries {
+			byName[q.Name] = i
+		}
+		for spec, weight := range req.Weights {
+			del, err := textio.ParseDeletions(spec, queries)
+			if err != nil {
+				return nil, nil, fmt.Errorf("weights: %w", err)
+			}
+			for _, ref := range del.Refs() {
+				p.SetWeight(ref, weight)
+			}
+		}
+	}
+	return p, queries, nil
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req InstanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	p, _, err := buildProblem(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Solver
+	if name == "" {
+		name = "auto"
+	}
+	solver, err := PickSolver(name, p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sol, err := solver.Solve(p)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rep := p.Evaluate(sol)
+	resp := SolveResponse{
+		Solver:       solver.Name(),
+		Feasible:     rep.Feasible,
+		SideEffect:   rep.SideEffect,
+		BadRemaining: rep.BadRemaining,
+		Balanced:     rep.Balanced,
+	}
+	for _, id := range sol.Deleted {
+		resp.Deleted = append(resp.Deleted, toTupleJSON(id))
+	}
+	for _, ref := range rep.Collateral {
+		resp.Collateral = append(resp.Collateral, ref.String())
+	}
+	if p.IsKeyPreserving() {
+		if lb, err := core.DualBound(p); err == nil {
+			resp.LowerBound = &lb
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toTupleJSON(id relation.TupleID) TupleJSON {
+	vals := make([]string, len(id.Tuple))
+	for i, v := range id.Tuple {
+		vals[i] = string(v)
+	}
+	return TupleJSON{Relation: id.Relation, Values: vals}
+}
+
+// ClassifyResponse reports per-query properties and the multi-query class.
+type ClassifyResponse struct {
+	Queries []QueryClassification `json:"queries"`
+	Multi   MultiClassification   `json:"multi"`
+}
+
+// QueryClassification is the per-query result.
+type QueryClassification struct {
+	Query            string `json:"query"`
+	ProjectFree      bool   `json:"projectFree"`
+	SelectFree       bool   `json:"selectFree"`
+	SelfJoinFree     bool   `json:"selfJoinFree"`
+	KeyPreserving    bool   `json:"keyPreserving"`
+	HeadDomination   bool   `json:"headDomination"`
+	FDHeadDomination bool   `json:"fdHeadDomination"`
+	HasTriad         bool   `json:"hasTriad"`
+	SourceClass      string `json:"sourceSideEffect"`
+	ViewClass        string `json:"viewSideEffect"`
+}
+
+// MultiClassification is the paper's multi-query result.
+type MultiClassification struct {
+	AllProjectFree   bool     `json:"allProjectFree"`
+	AllKeyPreserving bool     `json:"allKeyPreserving"`
+	Forest           bool     `json:"forest"`
+	Class            string   `json:"class"`
+	Guarantees       []string `json:"guarantees"`
+}
+
+func handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req InstanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	db, err := textio.ParseDatabase(req.Database)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	queries, err := cq.ParseProgram(req.Queries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	schemas := cq.InstanceSchemas(db)
+	var resp ClassifyResponse
+	for _, q := range queries {
+		deps, err := classify.VariableFDs(q, schemas, nil)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		props, err := classify.Analyze(q, schemas, deps)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Queries = append(resp.Queries, QueryClassification{
+			Query:            q.String(),
+			ProjectFree:      props.ProjectFree,
+			SelectFree:       props.SelectFree,
+			SelfJoinFree:     props.SelfJoinFree,
+			KeyPreserving:    props.KeyPreserving,
+			HeadDomination:   props.HeadDomination,
+			FDHeadDomination: props.FDHeadDomination,
+			HasTriad:         props.HasTriad,
+			SourceClass:      string(classify.SourceSideEffect(props, true)),
+			ViewClass:        string(classify.ViewSideEffect(props, true)),
+		})
+	}
+	multi, err := classify.MultiQuery(queries, schemas)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp.Multi = MultiClassification{
+		AllProjectFree:   multi.AllProjectFree,
+		AllKeyPreserving: multi.AllKeyPreserving,
+		Forest:           multi.Forest,
+		Class:            string(multi.Class),
+		Guarantees:       multi.Guarantees,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// LineageRequest asks for the provenance of one view tuple, named in the
+// textio deletion syntax ("Q3(John, XML)").
+type LineageRequest struct {
+	Database string `json:"database"`
+	Queries  string `json:"queries"`
+	Tuple    string `json:"tuple"`
+}
+
+// LineageResponse carries the rendered report plus structured witnesses.
+type LineageResponse struct {
+	Report    string        `json:"report"`
+	Witnesses [][]TupleJSON `json:"witnesses"`
+}
+
+func handleLineage(w http.ResponseWriter, r *http.Request) {
+	var req LineageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	db, err := textio.ParseDatabase(req.Database)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	queries, err := cq.ParseProgram(req.Queries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	del, err := textio.ParseDeletions(req.Tuple, queries)
+	if err != nil || del.Len() != 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("tuple: want exactly one view tuple reference"))
+		return
+	}
+	views, err := view.Materialize(queries, db)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := lineage.Explain(views, del.Refs()[0])
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	resp := LineageResponse{Report: rep.String()}
+	for _, wit := range rep.Why {
+		var row []TupleJSON
+		for _, id := range wit {
+			row = append(row, toTupleJSON(id))
+		}
+		resp.Witnesses = append(resp.Witnesses, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ResilienceResponse reports per-query resilience values.
+type ResilienceResponse struct {
+	Queries []QueryResilience `json:"queries"`
+}
+
+// QueryResilience is one query's resilience with a witness deletion.
+type QueryResilience struct {
+	Query      string      `json:"query"`
+	Resilience int         `json:"resilience"`
+	Witness    []TupleJSON `json:"witness"`
+	// Method is "bipartite-vertex-cover" (PTime) or "exact-hitting-set".
+	Method string `json:"method"`
+}
+
+func handleResilience(w http.ResponseWriter, r *http.Request) {
+	var req InstanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	db, err := textio.ParseDatabase(req.Database)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	queries, err := cq.ParseProgram(req.Queries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp ResilienceResponse
+	for _, q := range queries {
+		n, sol, err := core.Resilience(q, db, 24)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("%s: %w", q.Name, err))
+			return
+		}
+		method := "exact-hitting-set"
+		if len(q.Body) == 2 && q.IsSelfJoinFree() {
+			method = "bipartite-vertex-cover"
+		}
+		qr := QueryResilience{Query: q.String(), Resilience: n, Method: method}
+		for _, id := range sol.Deleted {
+			qr.Witness = append(qr.Witness, toTupleJSON(id))
+		}
+		resp.Queries = append(resp.Queries, qr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PickSolver resolves a solver by name, mirroring cmd/delprop's switch so
+// the HTTP API and CLI accept the same names.
+func PickSolver(name string, p *core.Problem) (core.Solver, error) {
+	switch name {
+	case "greedy":
+		return &core.Greedy{}, nil
+	case "red-blue":
+		return &core.RedBlue{}, nil
+	case "red-blue-exact":
+		return &core.RedBlueExact{}, nil
+	case "primal-dual":
+		return &core.PrimalDual{}, nil
+	case "low-deg":
+		return &core.LowDegTreeTwo{}, nil
+	case "dp-tree":
+		return &core.DPTree{}, nil
+	case "brute-force":
+		return &core.BruteForce{}, nil
+	case "single-exact":
+		return &core.SingleTupleExact{}, nil
+	case "balanced-red-blue":
+		return &core.BalancedRedBlue{}, nil
+	case "balanced-exact":
+		return &core.BalancedRedBlue{Exact: true}, nil
+	case "portfolio":
+		return &core.Portfolio{}, nil
+	case "unidimensional":
+		return &core.Unidimensional{}, nil
+	case "local-search":
+		return &core.LocalSearch{}, nil
+	case "auto":
+		if !p.IsKeyPreserving() {
+			// The Table IV tractable case: single sj-free head-dominated
+			// query with a single-tuple request gets the exact
+			// unidimensional algorithm; otherwise the greedy heuristic.
+			if len(p.Queries) == 1 && p.Delta.Len() == 1 {
+				uni := &core.Unidimensional{}
+				if _, err := uni.Solve(p); err == nil {
+					return uni, nil
+				}
+			}
+			return &core.Greedy{}, nil
+		}
+		if p.Delta.Len() == 1 {
+			return &core.SingleTupleExact{}, nil
+		}
+		if core.IsPivotForest(p) {
+			return &core.DPTree{}, nil
+		}
+		return &core.RedBlue{}, nil
+	}
+	return nil, fmt.Errorf("unknown solver %q", name)
+}

@@ -1,0 +1,156 @@
+package setcover
+
+import "fmt"
+
+// PNSet is one set of a Positive-Negative Partial Set Cover instance.
+type PNSet struct {
+	Name      string
+	Positives []int
+	Negatives []int
+}
+
+// PNPSCInstance is the Positive-Negative Partial Set Cover problem of
+// Miettinen (Section II.D): choose a sub-collection minimizing
+// (#uncovered positives) + (weight of covered negatives). Unlike Red-Blue
+// Set Cover there is no hard covering constraint, so every sub-collection
+// (including the empty one) is feasible.
+type PNPSCInstance struct {
+	NumPos int
+	NumNeg int
+	// NegWeights holds one weight per negative element; nil means all 1.
+	NegWeights []float64
+	// PosWeights holds one weight per positive element (the price of
+	// leaving it uncovered); nil means all 1.
+	PosWeights []float64
+	Sets       []PNSet
+}
+
+// NegWeight returns the weight of negative element n.
+func (p *PNPSCInstance) NegWeight(n int) float64 {
+	if p.NegWeights == nil {
+		return 1
+	}
+	return p.NegWeights[n]
+}
+
+// PosWeight returns the weight of positive element i.
+func (p *PNPSCInstance) PosWeight(i int) float64 {
+	if p.PosWeights == nil {
+		return 1
+	}
+	return p.PosWeights[i]
+}
+
+// Validate checks index ranges and weight vector lengths.
+func (p *PNPSCInstance) Validate() error {
+	if p.NegWeights != nil && len(p.NegWeights) != p.NumNeg {
+		return fmt.Errorf("setcover: %d negative weights for %d negatives", len(p.NegWeights), p.NumNeg)
+	}
+	if p.PosWeights != nil && len(p.PosWeights) != p.NumPos {
+		return fmt.Errorf("setcover: %d positive weights for %d positives", len(p.PosWeights), p.NumPos)
+	}
+	for si, s := range p.Sets {
+		for _, e := range s.Positives {
+			if e < 0 || e >= p.NumPos {
+				return fmt.Errorf("setcover: set %d positive index %d out of range", si, e)
+			}
+		}
+		for _, e := range s.Negatives {
+			if e < 0 || e >= p.NumNeg {
+				return fmt.Errorf("setcover: set %d negative index %d out of range", si, e)
+			}
+		}
+	}
+	return nil
+}
+
+// Cost evaluates the PNPSC objective for a chosen sub-collection.
+func (p *PNPSCInstance) Cost(sol Solution) float64 {
+	coveredPos := make(map[int]bool)
+	coveredNeg := make(map[int]bool)
+	for _, si := range sol.Chosen {
+		for _, e := range p.Sets[si].Positives {
+			coveredPos[e] = true
+		}
+		for _, e := range p.Sets[si].Negatives {
+			coveredNeg[e] = true
+		}
+	}
+	cost := 0.0
+	for i := 0; i < p.NumPos; i++ {
+		if !coveredPos[i] {
+			cost += p.PosWeight(i)
+		}
+	}
+	for n := range coveredNeg {
+		cost += p.NegWeight(n)
+	}
+	return cost
+}
+
+// ToRedBlue performs Miettinen's linear reduction to Red-Blue Set Cover:
+// the positives become blue elements; the reds are the negatives plus one
+// fresh "slack" red per positive, and for every positive p a singleton set
+// {p, slack_p} is added so that leaving p uncovered in PNPSC corresponds to
+// covering it with its slack set at the price of p's weight. The returned
+// decoder strips the slack sets from a Red-Blue solution.
+func (p *PNPSCInstance) ToRedBlue() (*Instance, func(Solution) Solution) {
+	inst := &Instance{
+		NumRed:  p.NumNeg + p.NumPos,
+		NumBlue: p.NumPos,
+	}
+	inst.RedWeights = make([]float64, inst.NumRed)
+	for n := 0; n < p.NumNeg; n++ {
+		inst.RedWeights[n] = p.NegWeight(n)
+	}
+	for i := 0; i < p.NumPos; i++ {
+		inst.RedWeights[p.NumNeg+i] = p.PosWeight(i)
+	}
+	for _, s := range p.Sets {
+		inst.Sets = append(inst.Sets, Set{
+			Name:  s.Name,
+			Reds:  append([]int(nil), s.Negatives...),
+			Blues: append([]int(nil), s.Positives...),
+		})
+	}
+	nOrig := len(p.Sets)
+	for i := 0; i < p.NumPos; i++ {
+		inst.Sets = append(inst.Sets, Set{
+			Name:  fmt.Sprintf("slack_%d", i),
+			Reds:  []int{p.NumNeg + i},
+			Blues: []int{i},
+		})
+	}
+	decode := func(sol Solution) Solution {
+		var chosen []int
+		for _, si := range sol.Chosen {
+			if si < nOrig {
+				chosen = append(chosen, si)
+			}
+		}
+		return Solution{Chosen: chosen}
+	}
+	return inst, decode
+}
+
+// Solve approximates the PNPSC instance via the reduction to Red-Blue Set
+// Cover followed by LowDegSweep, as in the paper's Lemma 1.
+func (p *PNPSCInstance) Solve(mode GreedyMode) (Solution, error) {
+	inst, decode := p.ToRedBlue()
+	sol, err := inst.LowDegSweep(mode)
+	if err != nil {
+		return Solution{}, err
+	}
+	return decode(sol), nil
+}
+
+// Exact computes an optimal PNPSC solution via the reduction and the
+// Red-Blue branch-and-bound.
+func (p *PNPSCInstance) Exact(maxSets int) (Solution, error) {
+	inst, decode := p.ToRedBlue()
+	sol, err := inst.Exact(maxSets)
+	if err != nil {
+		return Solution{}, err
+	}
+	return decode(sol), nil
+}

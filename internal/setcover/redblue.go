@@ -1,0 +1,340 @@
+// Package setcover implements the covering problems the paper builds on
+// (Section II.D): the Red-Blue Set Cover problem of Carr et al. with a
+// greedy and a Peleg-style low-degree approximation plus an exact
+// branch-and-bound, and the Positive-Negative Partial Set Cover problem of
+// Miettinen with its linear reduction to Red-Blue Set Cover. These are the
+// engines behind the paper's Claim 1 and Lemma 1 upper bounds.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Set is one set of a Red-Blue Set Cover instance: the red and blue
+// elements it contains, as indexes into the instance's element ranges.
+type Set struct {
+	Name  string
+	Reds  []int
+	Blues []int
+}
+
+// Instance is a Red-Blue Set Cover instance: find a sub-collection covering
+// every blue element while minimizing the total weight of covered red
+// elements.
+type Instance struct {
+	NumRed  int
+	NumBlue int
+	// RedWeights holds one weight per red element; nil means all 1.
+	RedWeights []float64
+	Sets       []Set
+}
+
+// Validate checks index ranges and weight vector length.
+func (inst *Instance) Validate() error {
+	if inst.RedWeights != nil && len(inst.RedWeights) != inst.NumRed {
+		return fmt.Errorf("setcover: %d red weights for %d reds", len(inst.RedWeights), inst.NumRed)
+	}
+	for si, s := range inst.Sets {
+		for _, r := range s.Reds {
+			if r < 0 || r >= inst.NumRed {
+				return fmt.Errorf("setcover: set %d red index %d out of range", si, r)
+			}
+		}
+		for _, b := range s.Blues {
+			if b < 0 || b >= inst.NumBlue {
+				return fmt.Errorf("setcover: set %d blue index %d out of range", si, b)
+			}
+		}
+	}
+	return nil
+}
+
+// RedWeight returns the weight of red element r.
+func (inst *Instance) RedWeight(r int) float64 {
+	if inst.RedWeights == nil {
+		return 1
+	}
+	return inst.RedWeights[r]
+}
+
+// Solution is a chosen sub-collection, as set indexes.
+type Solution struct {
+	Chosen []int
+}
+
+// CoveredBlues returns the set of blue elements covered by the solution.
+func (inst *Instance) CoveredBlues(sol Solution) map[int]bool {
+	out := make(map[int]bool)
+	for _, si := range sol.Chosen {
+		for _, b := range inst.Sets[si].Blues {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+// CoveredReds returns the set of red elements covered by the solution.
+func (inst *Instance) CoveredReds(sol Solution) map[int]bool {
+	out := make(map[int]bool)
+	for _, si := range sol.Chosen {
+		for _, r := range inst.Sets[si].Reds {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// Feasible reports whether every blue element is covered.
+func (inst *Instance) Feasible(sol Solution) bool {
+	return len(inst.CoveredBlues(sol)) == inst.NumBlue
+}
+
+// Cost returns the total weight of red elements covered by the solution
+// (the Red-Blue Set Cover objective).
+func (inst *Instance) Cost(sol Solution) float64 {
+	cost := 0.0
+	for r := range inst.CoveredReds(sol) {
+		cost += inst.RedWeight(r)
+	}
+	return cost
+}
+
+// ErrInfeasible is returned when some blue element is covered by no set.
+var ErrInfeasible = errors.New("setcover: instance is infeasible")
+
+// coveringSets returns, per blue element, the sets covering it (restricted
+// to allowed sets).
+func (inst *Instance) coveringSets(allowed []bool) ([][]int, error) {
+	cov := make([][]int, inst.NumBlue)
+	for si, s := range inst.Sets {
+		if allowed != nil && !allowed[si] {
+			continue
+		}
+		for _, b := range s.Blues {
+			cov[b] = append(cov[b], si)
+		}
+	}
+	for b, cs := range cov {
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("%w: blue element %d uncovered by every set", ErrInfeasible, b)
+		}
+	}
+	return cov, nil
+}
+
+// GreedyMode selects the inner greedy strategy.
+type GreedyMode int
+
+const (
+	// GreedyRatio picks the set maximizing newly-covered blues per unit of
+	// newly-covered red weight (practical default).
+	GreedyRatio GreedyMode = iota
+	// GreedyCount picks the set maximizing newly-covered blues, ignoring
+	// red cost — the inner step of Peleg's low-degree algorithm, whose
+	// analysis only needs the ln(β) set-count bound.
+	GreedyCount
+)
+
+// Greedy computes a feasible solution with the chosen strategy, or
+// ErrInfeasible.
+func (inst *Instance) Greedy(mode GreedyMode) (Solution, error) {
+	return inst.greedyRestricted(nil, mode)
+}
+
+func (inst *Instance) greedyRestricted(allowed []bool, mode GreedyMode) (Solution, error) {
+	if _, err := inst.coveringSets(allowed); err != nil {
+		return Solution{}, err
+	}
+	coveredBlue := make([]bool, inst.NumBlue)
+	coveredRed := make([]bool, inst.NumRed)
+	remaining := inst.NumBlue
+	var chosen []int
+	for remaining > 0 {
+		best, bestScore := -1, math.Inf(-1)
+		for si, s := range inst.Sets {
+			if allowed != nil && !allowed[si] {
+				continue
+			}
+			newBlues := 0
+			for _, b := range s.Blues {
+				if !coveredBlue[b] {
+					newBlues++
+				}
+			}
+			if newBlues == 0 {
+				continue
+			}
+			var score float64
+			switch mode {
+			case GreedyCount:
+				score = float64(newBlues)
+			default:
+				newRed := 0.0
+				for _, r := range s.Reds {
+					if !coveredRed[r] {
+						newRed += inst.RedWeight(r)
+					}
+				}
+				score = float64(newBlues) / (1 + newRed)
+			}
+			if score > bestScore {
+				bestScore, best = score, si
+			}
+		}
+		if best == -1 {
+			// coveringSets guaranteed feasibility; reaching here would be a
+			// logic bug.
+			return Solution{}, ErrInfeasible
+		}
+		chosen = append(chosen, best)
+		for _, b := range inst.Sets[best].Blues {
+			if !coveredBlue[b] {
+				coveredBlue[b] = true
+				remaining--
+			}
+		}
+		for _, r := range inst.Sets[best].Reds {
+			coveredRed[r] = true
+		}
+	}
+	sort.Ints(chosen)
+	return Solution{Chosen: chosen}, nil
+}
+
+// redDegree returns the red weight of a set (number of reds when
+// unweighted).
+func (inst *Instance) redDegree(si int) float64 {
+	w := 0.0
+	for _, r := range inst.Sets[si].Reds {
+		w += inst.RedWeight(r)
+	}
+	return w
+}
+
+// LowDeg runs the degree-capped greedy: sets with red weight exceeding tau
+// are discarded, then the inner greedy covers the blues. Returns
+// ErrInfeasible when the cap kills feasibility. This is the inner routine
+// of the paper's Algorithm 2 family, after Peleg's LowDegTwo.
+func (inst *Instance) LowDeg(tau float64, mode GreedyMode) (Solution, error) {
+	allowed := make([]bool, len(inst.Sets))
+	for si := range inst.Sets {
+		allowed[si] = inst.redDegree(si) <= tau
+	}
+	return inst.greedyRestricted(allowed, mode)
+}
+
+// LowDegSweep runs LowDeg over every distinct red degree (the unknown τ̂ of
+// the paper's Algorithm 3 outer loop) and returns the best feasible
+// solution found, or ErrInfeasible if none is.
+func (inst *Instance) LowDegSweep(mode GreedyMode) (Solution, error) {
+	degrees := make([]float64, 0, len(inst.Sets))
+	seen := make(map[float64]bool)
+	for si := range inst.Sets {
+		d := inst.redDegree(si)
+		if !seen[d] {
+			seen[d] = true
+			degrees = append(degrees, d)
+		}
+	}
+	sort.Float64s(degrees)
+	bestCost := math.Inf(1)
+	var best Solution
+	found := false
+	for _, tau := range degrees {
+		sol, err := inst.LowDeg(tau, mode)
+		if err != nil {
+			continue
+		}
+		if c := inst.Cost(sol); c < bestCost {
+			bestCost, best, found = c, sol, true
+		}
+	}
+	if !found {
+		return Solution{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// Exact computes an optimal solution by branch and bound. maxSets bounds
+// the search to instances with at most that many sets (0 means no bound);
+// exceeding it returns an error rather than hanging.
+func (inst *Instance) Exact(maxSets int) (Solution, error) {
+	if maxSets > 0 && len(inst.Sets) > maxSets {
+		return Solution{}, fmt.Errorf("setcover: %d sets exceeds exact-solver bound %d", len(inst.Sets), maxSets)
+	}
+	cov, err := inst.coveringSets(nil)
+	if err != nil {
+		return Solution{}, err
+	}
+	bestCost := math.Inf(1)
+	var best []int
+	coveredBlue := make([]int, inst.NumBlue) // cover count
+	coveredRed := make([]int, inst.NumRed)
+	remaining := inst.NumBlue
+	curCost := 0.0
+	var cur []int
+
+	choose := func(si int) {
+		for _, b := range inst.Sets[si].Blues {
+			if coveredBlue[b] == 0 {
+				remaining--
+			}
+			coveredBlue[b]++
+		}
+		for _, r := range inst.Sets[si].Reds {
+			if coveredRed[r] == 0 {
+				curCost += inst.RedWeight(r)
+			}
+			coveredRed[r]++
+		}
+		cur = append(cur, si)
+	}
+	unchoose := func(si int) {
+		for _, b := range inst.Sets[si].Blues {
+			coveredBlue[b]--
+			if coveredBlue[b] == 0 {
+				remaining++
+			}
+		}
+		for _, r := range inst.Sets[si].Reds {
+			coveredRed[r]--
+			if coveredRed[r] == 0 {
+				curCost -= inst.RedWeight(r)
+			}
+		}
+		cur = cur[:len(cur)-1]
+	}
+
+	var rec func()
+	rec = func() {
+		if curCost >= bestCost {
+			return
+		}
+		if remaining == 0 {
+			bestCost = curCost
+			best = append([]int(nil), cur...)
+			return
+		}
+		// Branch on the uncovered blue with the fewest covering sets.
+		pick, pickDeg := -1, math.MaxInt32
+		for b := 0; b < inst.NumBlue; b++ {
+			if coveredBlue[b] == 0 && len(cov[b]) < pickDeg {
+				pick, pickDeg = b, len(cov[b])
+			}
+		}
+		for _, si := range cov[pick] {
+			choose(si)
+			rec()
+			unchoose(si)
+		}
+	}
+	rec()
+	if best == nil {
+		return Solution{}, ErrInfeasible
+	}
+	sort.Ints(best)
+	return Solution{Chosen: best}, nil
+}

@@ -1,0 +1,85 @@
+package textio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"delprop/internal/relation"
+)
+
+// LoadCSV reads tuples for one relation from CSV. The header row must
+// match the schema's attribute names (key attributes may carry a trailing
+// '*', which is ignored); every following row becomes a tuple. Key
+// violations and arity mismatches abort with the row number.
+func LoadCSV(db *relation.Instance, rel string, r io.Reader) (int, error) {
+	target := db.Relation(rel)
+	if target == nil {
+		return 0, fmt.Errorf("%w: unknown relation %s", ErrFormat, rel)
+	}
+	schema := target.Schema()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading header: %v", ErrFormat, err)
+	}
+	for i, h := range header {
+		name := strings.TrimSuffix(strings.TrimSpace(h), "*")
+		if name != schema.Attrs[i] {
+			return 0, fmt.Errorf("%w: header column %d is %q, schema wants %q", ErrFormat, i, name, schema.Attrs[i])
+		}
+	}
+	n := 0
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("row %d: %v", row, err)
+		}
+		t := make(relation.Tuple, len(rec))
+		for i, v := range rec {
+			t[i] = relation.Value(v)
+		}
+		if err := target.Insert(t); err != nil {
+			return n, fmt.Errorf("row %d: %v", row, err)
+		}
+		n++
+	}
+}
+
+// DumpCSV writes one relation as CSV with a header row (key attributes
+// starred), inverse of LoadCSV.
+func DumpCSV(db *relation.Instance, rel string, w io.Writer) error {
+	target := db.Relation(rel)
+	if target == nil {
+		return fmt.Errorf("%w: unknown relation %s", ErrFormat, rel)
+	}
+	schema := target.Schema()
+	cw := csv.NewWriter(w)
+	header := make([]string, schema.Arity())
+	for i, a := range schema.Attrs {
+		if schema.IsKeyPos(i) {
+			header[i] = a + "*"
+		} else {
+			header[i] = a
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range target.Tuples() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = string(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

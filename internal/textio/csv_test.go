@@ -1,0 +1,103 @@
+package textio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"delprop/internal/relation"
+)
+
+func csvDB() *relation.Instance {
+	return relation.NewInstance(
+		relation.MustSchema("T1", []string{"AuName", "Journal"}, []int{0, 1}),
+	)
+}
+
+func TestLoadCSV(t *testing.T) {
+	db := csvDB()
+	src := "AuName*,Journal*\nJoe,TKDE\nJohn,TODS\n"
+	n, err := LoadCSV(db, "T1", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || db.Size() != 2 {
+		t.Errorf("loaded %d, size %d", n, db.Size())
+	}
+	if !db.Contains(relation.TupleID{Relation: "T1", Tuple: relation.Tuple{"John", "TODS"}}) {
+		t.Error("missing tuple")
+	}
+}
+
+func TestLoadCSVHeaderWithoutStars(t *testing.T) {
+	db := csvDB()
+	if _, err := LoadCSV(db, "T1", strings.NewReader("AuName,Journal\nJoe,TKDE\n")); err != nil {
+		t.Errorf("bare header rejected: %v", err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  string
+		src  string
+	}{
+		{"unknown relation", "Nope", "a\nx\n"},
+		{"wrong header", "T1", "Wrong,Journal\nJoe,TKDE\n"},
+		{"arity", "T1", "AuName,Journal\nJoe,TKDE,extra\n"},
+		{"key violation", "T1", "AuName,Journal\nJoe,TKDE\nJoe,TKDE\n"},
+		{"empty input", "T1", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := csvDB()
+			if _, err := LoadCSV(db, c.rel, strings.NewReader(c.src)); err == nil {
+				t.Errorf("accepted %q", c.src)
+			}
+		})
+	}
+	db := csvDB()
+	if _, err := LoadCSV(db, "Nope", strings.NewReader("")); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestDumpCSVRoundTrip(t *testing.T) {
+	db := csvDB()
+	db.MustInsert("T1", "Joe", "TKDE")
+	db.MustInsert("T1", "John", "TODS")
+	var buf bytes.Buffer
+	if err := DumpCSV(db, "T1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "AuName*,Journal*\n") {
+		t.Errorf("header missing: %q", out)
+	}
+	db2 := csvDB()
+	n, err := LoadCSV(db2, "T1", strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || db2.String() != db.String() {
+		t.Errorf("round trip changed data: %q vs %q", db2.String(), db.String())
+	}
+	// Values with embedded commas survive CSV quoting.
+	db.MustInsert("T1", "Last, First", "J,1")
+	buf.Reset()
+	if err := DumpCSV(db, "T1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	db3 := csvDB()
+	if _, err := LoadCSV(db3, "T1", strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !db3.Contains(relation.TupleID{Relation: "T1", Tuple: relation.Tuple{"Last, First", "J,1"}}) {
+		t.Error("comma-laden value lost")
+	}
+	// Unknown relation dump.
+	if err := DumpCSV(db, "Nope", &buf); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package textio implements the plain-text formats the CLI tools consume:
+// a database format (relation declarations with starred key attributes
+// followed by facts) and a deletion-request format (view tuples named by
+// query). Queries use the datalog syntax of package cq directly.
+//
+// Database file:
+//
+//	# comment
+//	relation T1(AuName*, Journal*)
+//	T1(Joe, TKDE)
+//	T1(John, TKDE)
+//	relation T2(Journal*, Topic*, Papers)
+//	T2(TKDE, XML, 30)
+//
+// Deletion file (query names resolve against the loaded query list):
+//
+//	Q3(John, XML)
+package textio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+	"delprop/internal/view"
+)
+
+// ErrFormat is wrapped by all parse failures.
+var ErrFormat = errors.New("textio: format error")
+
+// ParseDatabase parses the database format.
+func ParseDatabase(src string) (*relation.Instance, error) {
+	db := relation.NewInstance()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "relation "); ok {
+			schema, err := parseSchema(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			if db.HasRelation(schema.Name) {
+				return nil, fmt.Errorf("line %d: %w: duplicate relation %s", ln+1, ErrFormat, schema.Name)
+			}
+			db.AddRelation(schema)
+			continue
+		}
+		name, vals, err := parseFact(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if !db.HasRelation(name) {
+			return nil, fmt.Errorf("line %d: %w: fact for undeclared relation %s", ln+1, ErrFormat, name)
+		}
+		t := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			t[i] = relation.Value(v)
+		}
+		if err := db.Insert(name, t); err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+	}
+	return db, nil
+}
+
+// parseSchema parses "T1(AuName*, Journal*)" where * marks key positions.
+func parseSchema(s string) (*relation.Schema, error) {
+	name, args, err := splitCall(s)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []string
+	var key []int
+	for i, a := range args {
+		if starred, ok := strings.CutSuffix(a, "*"); ok {
+			key = append(key, i)
+			a = starred
+		}
+		attrs = append(attrs, a)
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("%w: relation %s declares no key attribute (mark with *)", ErrFormat, name)
+	}
+	return relation.NewSchema(name, attrs, key)
+}
+
+// parseFact parses "T1(Joe, TKDE)".
+func parseFact(s string) (string, []string, error) {
+	return splitCallKeepEmpty(s)
+}
+
+// splitCall parses name(arg1, arg2, ...) rejecting empty args.
+func splitCall(s string) (string, []string, error) {
+	name, args, err := splitCallKeepEmpty(s)
+	if err != nil {
+		return "", nil, err
+	}
+	for _, a := range args {
+		if a == "" {
+			return "", nil, fmt.Errorf("%w: empty argument in %q", ErrFormat, s)
+		}
+	}
+	return name, args, nil
+}
+
+func splitCallKeepEmpty(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("%w: expected name(args) in %q", ErrFormat, s)
+	}
+	name := strings.TrimSpace(s[:open])
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return name, nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	args := make([]string, len(parts))
+	for i, p := range parts {
+		args[i] = strings.TrimSpace(p)
+	}
+	return name, args, nil
+}
+
+// ParseDeletions parses deletion requests of the form "QName(v1, v2)" and
+// resolves query names to view indexes.
+func ParseDeletions(src string, queries []*cq.Query) (*view.Deletion, error) {
+	byName := make(map[string]int, len(queries))
+	for i, q := range queries {
+		byName[q.Name] = i
+	}
+	del := view.NewDeletion()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		name, vals, err := splitCall(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		vi, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: %w: unknown query %s", ln+1, ErrFormat, name)
+		}
+		t := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			t[i] = relation.Value(v)
+		}
+		del.Add(view.TupleRef{View: vi, Tuple: t})
+	}
+	return del, nil
+}
+
+// FormatDatabase renders an instance back into the database format
+// (round-trips with ParseDatabase up to ordering).
+func FormatDatabase(db *relation.Instance) string {
+	var b strings.Builder
+	for _, name := range db.RelationNames() {
+		r := db.Relation(name)
+		s := r.Schema()
+		parts := make([]string, s.Arity())
+		for i, a := range s.Attrs {
+			if s.IsKeyPos(i) {
+				parts[i] = a + "*"
+			} else {
+				parts[i] = a
+			}
+		}
+		fmt.Fprintf(&b, "relation %s(%s)\n", name, strings.Join(parts, ", "))
+		for _, t := range r.Tuples() {
+			vals := make([]string, len(t))
+			for i, v := range t {
+				vals[i] = string(v)
+			}
+			fmt.Fprintf(&b, "%s(%s)\n", name, strings.Join(vals, ", "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package view
+
+import (
+	"sort"
+
+	"delprop/internal/relation"
+)
+
+// Maintainer tracks the live/dead state of every view tuple under a
+// growing source deletion, updating incrementally from provenance instead
+// of re-evaluating queries: deleting a base tuple kills the derivations it
+// participates in, and a view tuple dies when its last derivation does.
+// This is the "finding the occurrences of key values of the deleted
+// relation tuples in the view" procedure of Section II.C, generalized to
+// multi-derivation (non-key-preserving) view tuples via per-derivation
+// reference counts.
+type Maintainer struct {
+	views []*View
+	// derivAlive[ref key] = number of still-alive derivations.
+	derivAlive map[string]int
+	// derivHit[ref key][derivation index] = number of deleted tuples on
+	// that derivation (alive while 0).
+	derivHit map[string][]int
+	// occ maps base-tuple keys to (ref key, derivation index) pairs.
+	occ map[string][]derivRef
+	// deleted tracks applied deletions for idempotence.
+	deleted map[string]bool
+	// refs resolves ref keys back to references.
+	refs map[string]TupleRef
+	// deadOrder records refs in death order.
+	deadOrder []TupleRef
+	dead      map[string]bool
+}
+
+type derivRef struct {
+	refKey string
+	deriv  int
+}
+
+// NewMaintainer indexes the views for incremental deletion.
+func NewMaintainer(views []*View) *Maintainer {
+	m := &Maintainer{
+		views:      views,
+		derivAlive: make(map[string]int),
+		derivHit:   make(map[string][]int),
+		occ:        make(map[string][]derivRef),
+		deleted:    make(map[string]bool),
+		refs:       make(map[string]TupleRef),
+		dead:       make(map[string]bool),
+	}
+	for _, v := range views {
+		for _, ans := range v.Result.Answers() {
+			ref := TupleRef{View: v.Index, Tuple: ans.Tuple}
+			k := ref.Key()
+			m.refs[k] = ref
+			m.derivAlive[k] = len(ans.Derivations)
+			m.derivHit[k] = make([]int, len(ans.Derivations))
+			for di, d := range ans.Derivations {
+				for tk := range d.TupleSet() {
+					m.occ[tk] = append(m.occ[tk], derivRef{refKey: k, deriv: di})
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Delete applies one source-tuple deletion and returns the view tuples
+// that died as a consequence (empty if none, or if the tuple was already
+// deleted).
+func (m *Maintainer) Delete(id relation.TupleID) []TupleRef {
+	tk := id.Key()
+	if m.deleted[tk] {
+		return nil
+	}
+	m.deleted[tk] = true
+	var died []string
+	for _, dr := range m.occ[tk] {
+		hits := m.derivHit[dr.refKey]
+		hits[dr.deriv]++
+		if hits[dr.deriv] == 1 {
+			m.derivAlive[dr.refKey]--
+			if m.derivAlive[dr.refKey] == 0 {
+				died = append(died, dr.refKey)
+			}
+		}
+	}
+	sort.Strings(died)
+	var out []TupleRef
+	for _, k := range died {
+		ref := m.refs[k]
+		m.dead[k] = true
+		m.deadOrder = append(m.deadOrder, ref)
+		out = append(out, ref)
+	}
+	return out
+}
+
+// Undelete reverses a prior Delete and returns the view tuples that came
+// back to life. Tuples never deleted are a no-op.
+func (m *Maintainer) Undelete(id relation.TupleID) []TupleRef {
+	tk := id.Key()
+	if !m.deleted[tk] {
+		return nil
+	}
+	delete(m.deleted, tk)
+	var revived []string
+	for _, dr := range m.occ[tk] {
+		hits := m.derivHit[dr.refKey]
+		hits[dr.deriv]--
+		if hits[dr.deriv] == 0 {
+			m.derivAlive[dr.refKey]++
+			if m.derivAlive[dr.refKey] == 1 {
+				revived = append(revived, dr.refKey)
+			}
+		}
+	}
+	sort.Strings(revived)
+	var out []TupleRef
+	for _, k := range revived {
+		delete(m.dead, k)
+		out = append(out, m.refs[k])
+	}
+	return out
+}
+
+// Alive reports whether the view tuple currently survives.
+func (m *Maintainer) Alive(ref TupleRef) bool {
+	k := ref.Key()
+	if _, known := m.derivAlive[k]; !known {
+		return false
+	}
+	return !m.dead[k]
+}
+
+// DeadCount returns the number of destroyed view tuples.
+func (m *Maintainer) DeadCount() int { return len(m.dead) }
+
+// DeletedCount returns the number of applied source deletions.
+func (m *Maintainer) DeletedCount() int { return len(m.deleted) }
+
+// AliveDerivations returns how many derivations of the view tuple still
+// survive (0 when the tuple is dead or unknown).
+func (m *Maintainer) AliveDerivations(ref TupleRef) int {
+	return m.derivAlive[ref.Key()]
+}

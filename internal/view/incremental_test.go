@@ -1,0 +1,121 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+)
+
+func TestMaintainerBasics(t *testing.T) {
+	db := fig1DB()
+	views, _ := Materialize([]*cq.Query{cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)")}, db)
+	m := NewMaintainer(views)
+
+	johnXML := TupleRef{View: 0, Tuple: tup("John", "XML")}
+	if !m.Alive(johnXML) {
+		t.Fatal("fresh maintainer reports dead tuple")
+	}
+	// Kill one derivation: still alive.
+	died := m.Delete(relation.TupleID{Relation: "T1", Tuple: tup("John", "TKDE")})
+	// John/CUBE dies (single derivation via TKDE); John/XML survives via
+	// TODS.
+	if len(died) != 1 || died[0].Tuple.String() != "(John,CUBE)" {
+		t.Errorf("died = %v", died)
+	}
+	if !m.Alive(johnXML) {
+		t.Error("John/XML should survive one derivation loss")
+	}
+	// Kill the second derivation.
+	died = m.Delete(relation.TupleID{Relation: "T1", Tuple: tup("John", "TODS")})
+	if len(died) != 1 || died[0].Tuple.String() != "(John,XML)" {
+		t.Errorf("died = %v", died)
+	}
+	if m.Alive(johnXML) {
+		t.Error("John/XML should be dead")
+	}
+	if m.DeadCount() != 2 || m.DeletedCount() != 2 {
+		t.Errorf("counts = %d dead, %d deleted", m.DeadCount(), m.DeletedCount())
+	}
+	// Idempotent delete.
+	if got := m.Delete(relation.TupleID{Relation: "T1", Tuple: tup("John", "TODS")}); got != nil {
+		t.Errorf("re-delete returned %v", got)
+	}
+}
+
+func TestMaintainerUndelete(t *testing.T) {
+	db := fig1DB()
+	views, _ := Materialize([]*cq.Query{cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)")}, db)
+	m := NewMaintainer(views)
+	id1 := relation.TupleID{Relation: "T1", Tuple: tup("John", "TKDE")}
+	id2 := relation.TupleID{Relation: "T1", Tuple: tup("John", "TODS")}
+	m.Delete(id1)
+	m.Delete(id2)
+	revived := m.Undelete(id2)
+	if len(revived) != 1 || revived[0].Tuple.String() != "(John,XML)" {
+		t.Errorf("revived = %v", revived)
+	}
+	if !m.Alive(TupleRef{View: 0, Tuple: tup("John", "XML")}) {
+		t.Error("John/XML not alive after undelete")
+	}
+	// Undelete of never-deleted tuple is a no-op.
+	if got := m.Undelete(relation.TupleID{Relation: "T1", Tuple: tup("Joe", "TKDE")}); got != nil {
+		t.Errorf("no-op undelete returned %v", got)
+	}
+	// Full rollback restores everything.
+	m.Undelete(id1)
+	if m.DeadCount() != 0 || m.DeletedCount() != 0 {
+		t.Errorf("counts after rollback: %d dead, %d deleted", m.DeadCount(), m.DeletedCount())
+	}
+}
+
+func TestMaintainerUnknownRef(t *testing.T) {
+	db := fig1DB()
+	views, _ := Materialize([]*cq.Query{cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)")}, db)
+	m := NewMaintainer(views)
+	if m.Alive(TupleRef{View: 0, Tuple: tup("Nobody", "X")}) {
+		t.Error("unknown ref reported alive")
+	}
+}
+
+// TestMaintainerMatchesReEvaluation drives a random delete/undelete
+// sequence and cross-checks every view tuple's liveness against full
+// re-evaluation after every step.
+func TestMaintainerMatchesReEvaluation(t *testing.T) {
+	db := fig1DB()
+	qs := []*cq.Query{
+		cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)"),
+		cq.MustParse("Q4(x, y, z) :- T1(x, y), T2(y, z, w)"),
+	}
+	views, _ := Materialize(qs, db)
+	m := NewMaintainer(views)
+	all := db.AllTuples()
+	rng := rand.New(rand.NewSource(99))
+	deleted := map[string]relation.TupleID{}
+	for step := 0; step < 60; step++ {
+		id := all[rng.Intn(len(all))]
+		if _, isDel := deleted[id.Key()]; isDel && rng.Intn(2) == 0 {
+			m.Undelete(id)
+			delete(deleted, id.Key())
+		} else {
+			m.Delete(id)
+			deleted[id.Key()] = id
+		}
+		// Cross-check against re-evaluation.
+		var delList []relation.TupleID
+		for _, d := range deleted {
+			delList = append(delList, d)
+		}
+		db2 := db.Without(delList)
+		for _, v := range views {
+			res2 := cq.MustEvaluate(v.Query, db2)
+			for _, ans := range v.Result.Answers() {
+				ref := TupleRef{View: v.Index, Tuple: ans.Tuple}
+				if got, want := m.Alive(ref), res2.Contains(ans.Tuple); got != want {
+					t.Fatalf("step %d: %s alive=%v, reeval=%v (deleted %v)", step, ref, got, want, delList)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package view implements materialized views with provenance for the
+// multi-query deletion-propagation problem (Section II.C of the paper): the
+// set V = {V1..Vm} with Vi = Qi(D), deletion requests ΔV, the semantics of
+// which view tuples survive a source deletion ΔD, and the inverted
+// tuple→view-tuple index the paper's key-preserving observation makes
+// possible ("finding the occurrences of key values of the deleted relation
+// tuples in the view").
+package view
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"delprop/internal/cq"
+	"delprop/internal/relation"
+)
+
+// View is one materialized query result with provenance.
+type View struct {
+	Index  int // position within the multi-view problem
+	Query  *cq.Query
+	Result *cq.Result
+}
+
+// Materialize evaluates every query over the instance, producing the view
+// set V. Queries are validated; the first failure aborts.
+func Materialize(queries []*cq.Query, db *relation.Instance) ([]*View, error) {
+	out := make([]*View, len(queries))
+	for i, q := range queries {
+		res, err := cq.Evaluate(q, db)
+		if err != nil {
+			return nil, fmt.Errorf("view %d (%s): %w", i, q.Name, err)
+		}
+		out[i] = &View{Index: i, Query: q, Result: res}
+	}
+	return out, nil
+}
+
+// TupleRef identifies one view tuple within the multi-view problem.
+type TupleRef struct {
+	View  int
+	Tuple relation.Tuple
+}
+
+// Key returns a canonical map key for the reference.
+func (r TupleRef) Key() string {
+	return fmt.Sprintf("%d|%s", r.View, r.Tuple.Encode())
+}
+
+// String renders the reference as V2(a,b).
+func (r TupleRef) String() string {
+	return fmt.Sprintf("V%d%s", r.View, r.Tuple)
+}
+
+// Deletion is the request ΔV: for each view, the set of view tuples to
+// eliminate.
+type Deletion struct {
+	refs  map[string]TupleRef
+	order []string
+}
+
+// NewDeletion builds a deletion request from references. Duplicates are
+// collapsed.
+func NewDeletion(refs ...TupleRef) *Deletion {
+	d := &Deletion{refs: make(map[string]TupleRef)}
+	for _, r := range refs {
+		d.Add(r)
+	}
+	return d
+}
+
+// Add inserts one reference.
+func (d *Deletion) Add(r TupleRef) {
+	k := r.Key()
+	if _, ok := d.refs[k]; ok {
+		return
+	}
+	d.refs[k] = r
+	d.order = append(d.order, k)
+}
+
+// Contains reports whether the reference is requested for deletion.
+func (d *Deletion) Contains(r TupleRef) bool {
+	_, ok := d.refs[r.Key()]
+	return ok
+}
+
+// Len returns ‖ΔV‖, the total number of view tuples requested.
+func (d *Deletion) Len() int { return len(d.refs) }
+
+// Refs returns the references in insertion order.
+func (d *Deletion) Refs() []TupleRef {
+	out := make([]TupleRef, 0, len(d.refs))
+	for _, k := range d.order {
+		out = append(out, d.refs[k])
+	}
+	return out
+}
+
+// PerView splits the deletion by view index.
+func (d *Deletion) PerView() map[int][]TupleRef {
+	out := make(map[int][]TupleRef)
+	for _, r := range d.Refs() {
+		out[r.View] = append(out[r.View], r)
+	}
+	return out
+}
+
+// String renders the request sorted, for debugging.
+func (d *Deletion) String() string {
+	parts := make([]string, 0, len(d.refs))
+	for _, r := range d.Refs() {
+		parts = append(parts, r.String())
+	}
+	sort.Strings(parts)
+	return "ΔV{" + strings.Join(parts, ", ") + "}"
+}
+
+// ErrUnknownViewTuple is returned when a deletion request names a tuple not
+// present in its view.
+var ErrUnknownViewTuple = errors.New("view: deletion names unknown view tuple")
+
+// Validate checks that every requested deletion is an actual view tuple.
+func (d *Deletion) Validate(views []*View) error {
+	for _, r := range d.Refs() {
+		if r.View < 0 || r.View >= len(views) {
+			return fmt.Errorf("%w: view index %d out of range", ErrUnknownViewTuple, r.View)
+		}
+		if !views[r.View].Result.Contains(r.Tuple) {
+			return fmt.Errorf("%w: %s", ErrUnknownViewTuple, r)
+		}
+	}
+	return nil
+}
+
+// TotalSize returns ‖V‖: the total number of view tuples across all views.
+func TotalSize(views []*View) int {
+	n := 0
+	for _, v := range views {
+		n += v.Result.NumAnswers()
+	}
+	return n
+}
+
+// MaxArity returns l = max arity(Q) over the views' queries; 0 for an empty
+// set.
+func MaxArity(views []*View) int {
+	l := 0
+	for _, v := range views {
+		if a := v.Query.Arity(); a > l {
+			l = a
+		}
+	}
+	return l
+}
+
+// Survives reports whether the answer still holds once the tuples in
+// deleted (keyed by TupleID.Key) are removed from the source: at least one
+// derivation must avoid every deleted tuple. For key-preserving queries
+// there is exactly one derivation, so this degenerates to "no tuple of the
+// join path is deleted".
+func Survives(ans *cq.Answer, deleted map[string]bool) bool {
+	for _, d := range ans.Derivations {
+		hit := false
+		for _, id := range d {
+			if deleted[id.Key()] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return true
+		}
+	}
+	return false
+}
+
+// DeletedSet builds the lookup set used by Survives.
+func DeletedSet(ids []relation.TupleID) map[string]bool {
+	out := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		out[id.Key()] = true
+	}
+	return out
+}
+
+// Occurrence records that a base tuple participates in (a derivation of) a
+// view tuple.
+type Occurrence struct {
+	Ref TupleRef
+	// Critical reports whether deleting the base tuple necessarily kills
+	// the view tuple, i.e. the tuple occurs in every derivation of it. For
+	// key-preserving queries every occurrence is critical.
+	Critical bool
+}
+
+// InvertedIndex maps each base tuple to the view tuples it occurs in. This
+// is the structure behind the paper's key observation that "checking the
+// view side-effect can be easily performed by finding the occurrences of
+// key values of the deleted relation tuples in the view".
+type InvertedIndex struct {
+	occ map[string][]Occurrence
+	ids map[string]relation.TupleID
+}
+
+// BuildInvertedIndex scans all views' provenance.
+func BuildInvertedIndex(views []*View) *InvertedIndex {
+	idx := &InvertedIndex{
+		occ: make(map[string][]Occurrence),
+		ids: make(map[string]relation.TupleID),
+	}
+	for _, v := range views {
+		for _, ans := range v.Result.Answers() {
+			ref := TupleRef{View: v.Index, Tuple: ans.Tuple}
+			// Count in how many derivations each base tuple occurs.
+			counts := make(map[string]int)
+			for _, d := range ans.Derivations {
+				for k, id := range d.TupleSet() {
+					counts[k]++
+					idx.ids[k] = id
+				}
+			}
+			total := len(ans.Derivations)
+			for k, c := range counts {
+				idx.occ[k] = append(idx.occ[k], Occurrence{Ref: ref, Critical: c == total})
+			}
+		}
+	}
+	return idx
+}
+
+// Occurrences returns the view tuples the base tuple participates in.
+func (idx *InvertedIndex) Occurrences(id relation.TupleID) []Occurrence {
+	return idx.occ[id.Key()]
+}
+
+// Tuples returns every base tuple that occurs in some view tuple, sorted by
+// key for determinism.
+func (idx *InvertedIndex) Tuples() []relation.TupleID {
+	keys := make([]string, 0, len(idx.ids))
+	for k := range idx.ids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]relation.TupleID, len(keys))
+	for i, k := range keys {
+		out[i] = idx.ids[k]
+	}
+	return out
+}
+
+// Len returns the number of distinct base tuples appearing in views.
+func (idx *InvertedIndex) Len() int { return len(idx.ids) }
+
+// SideEffect computes, per view, how many view tuples are destroyed by
+// deleting the given source tuples, split into requested (in del) and
+// collateral (side-effect). It re-derives survival from provenance without
+// re-evaluating queries.
+func SideEffect(views []*View, del *Deletion, deleted []relation.TupleID) (removedRequested, removedCollateral []TupleRef) {
+	set := DeletedSet(deleted)
+	for _, v := range views {
+		for _, ans := range v.Result.Answers() {
+			if Survives(ans, set) {
+				continue
+			}
+			ref := TupleRef{View: v.Index, Tuple: ans.Tuple}
+			if del != nil && del.Contains(ref) {
+				removedRequested = append(removedRequested, ref)
+			} else {
+				removedCollateral = append(removedCollateral, ref)
+			}
+		}
+	}
+	return removedRequested, removedCollateral
+}

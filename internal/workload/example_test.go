@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"delprop/internal/view"
+	"delprop/internal/workload"
+)
+
+// Example materializes the Fig. 1 workload and samples a deletion request.
+func Example() {
+	w := workload.Fig1()
+	views, err := view.Materialize(w.Queries, w.DB)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|D|=%d, ‖V‖=%d\n", w.DB.Size(), view.TotalSize(views))
+	del := workload.SampleDeletion(views, 2, 42)
+	fmt.Printf("sampled ‖ΔV‖=%d\n", del.Len())
+	// Output:
+	// |D|=7, ‖V‖=13
+	// sampled ‖ΔV‖=2
+}
