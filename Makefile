@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments fuzz fmt vet clean
+.PHONY: all build test test-short race cover bench experiments fuzz fmt vet audit clean
 
 all: build test
 
@@ -37,6 +37,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis + vulnerability scan. Skips gracefully when the tools
+# are not installed (CI installs and runs both unconditionally).
+audit:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "audit: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "audit: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 clean:
 	$(GO) clean -testcache

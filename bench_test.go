@@ -6,6 +6,7 @@
 package delprop_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -107,7 +108,7 @@ func benchSolver(b *testing.B, p *core.Problem, s core.Solver) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Solve(p); err != nil {
+		if _, err := s.Solve(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,17 +5,25 @@
 //
 // Usage:
 //
-//	delprop -db db.txt -queries q.dl -delete del.txt [-solver red-blue] [-balanced]
+//	delprop -db db.txt -queries q.dl -delete del.txt [-solver red-blue] [-balanced] [-timeout 30s]
 //
 // Solvers: greedy, red-blue, red-blue-exact, primal-dual, low-deg,
 // dp-tree, brute-force, single-exact, balanced-red-blue, balanced-exact,
 // auto (classification-driven default).
+//
+// -timeout bounds the solve; on expiry the run fails unless the solver
+// carried an incumbent (anytime solvers), which is then printed as a
+// partial result. -resilience computes per-query resilience instead of a
+// deletion, with -resilience-budget bounding its exact search.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"delprop/internal/classify"
 	"delprop/internal/core"
@@ -31,19 +39,39 @@ func main() {
 	solverName := flag.String("solver", "auto", "algorithm to run")
 	balanced := flag.Bool("balanced", false, "report the balanced objective")
 	explain := flag.Bool("explain", false, "print each query's join plan")
+	timeout := flag.Duration("timeout", 0, "bound the solve (0 = no limit)")
+	resilience := flag.Bool("resilience", false, "compute per-query resilience instead of a deletion")
+	resilienceBudget := flag.Int("resilience-budget", 24, "candidate bound for the exact resilience search")
 	flag.Parse()
 
-	if *dbPath == "" || *qPath == "" || *dPath == "" {
+	if *dbPath == "" || *qPath == "" || (*dPath == "" && !*resilience) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *qPath, *dPath, *solverName, *balanced, *explain); err != nil {
+	opts := options{
+		solver:           *solverName,
+		balanced:         *balanced,
+		explain:          *explain,
+		timeout:          *timeout,
+		resilience:       *resilience,
+		resilienceBudget: *resilienceBudget,
+	}
+	if err := run(*dbPath, *qPath, *dPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "delprop:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error {
+type options struct {
+	solver           string
+	balanced         bool
+	explain          bool
+	timeout          time.Duration
+	resilience       bool
+	resilienceBudget int
+}
+
+func run(dbPath, qPath, dPath string, opts options) error {
 	dbSrc, err := os.ReadFile(dbPath)
 	if err != nil {
 		return err
@@ -60,6 +88,25 @@ func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error 
 	if err != nil {
 		return err
 	}
+
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+
+	if opts.resilience {
+		for _, q := range queries {
+			n, sol, err := core.Resilience(ctx, q, db, opts.resilienceBudget)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.Name, err)
+			}
+			fmt.Printf("resilience(%s) = %d  witness %s\n", q.Name, n, sol)
+		}
+		return nil
+	}
+
 	dSrc, err := os.ReadFile(dPath)
 	if err != nil {
 		return err
@@ -73,7 +120,7 @@ func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error 
 		return err
 	}
 
-	if explain {
+	if opts.explain {
 		for _, q := range queries {
 			plan, err := cq.ExplainPlan(q, db)
 			if err != nil {
@@ -93,17 +140,32 @@ func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error 
 		fmt.Printf("  - %s\n", g)
 	}
 
-	solver, err := pickSolver(solverName, p)
+	solver, err := pickSolver(opts.solver, p)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("solver: %s\n", solver.Name())
-	sol, err := solver.Solve(p)
+	sol, err := solver.Solve(ctx, p)
+	partial := false
 	if err != nil {
-		return err
+		inc, ok := core.Best(err)
+		if !ok {
+			return err
+		}
+		// The deadline fired but the solver carried an incumbent: report
+		// the partial result rather than discarding the work.
+		if errors.Is(err, core.ErrDeadline) {
+			fmt.Printf("timeout after %v — reporting the solver's incumbent\n", opts.timeout)
+		} else {
+			fmt.Println("canceled — reporting the solver's incumbent")
+		}
+		sol, partial = inc, true
 	}
 	rep := p.Evaluate(sol)
 	fmt.Printf("deletion: %s\n", sol)
+	if partial {
+		fmt.Println("partial: true (search interrupted before completion)")
+	}
 	fmt.Printf("feasible: %v\n", rep.Feasible)
 	fmt.Printf("side effect: %v", rep.SideEffect)
 	if len(rep.Collateral) > 0 {
@@ -114,7 +176,7 @@ func run(dbPath, qPath, dPath, solverName string, balanced, explain bool) error 
 		fmt.Printf(")")
 	}
 	fmt.Println()
-	if balanced {
+	if opts.balanced {
 		fmt.Printf("balanced objective: %v (bad remaining %d)\n", rep.Balanced, rep.BadRemaining)
 	}
 	return nil

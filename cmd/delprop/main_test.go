@@ -40,7 +40,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 func TestRunEndToEnd(t *testing.T) {
 	for _, solver := range []string{"auto", "greedy", "red-blue", "red-blue-exact", "single-exact", "brute-force", "primal-dual", "low-deg", "balanced-red-blue", "balanced-exact"} {
 		out, err := captureStdout(t, func() error {
-			return run(td("db.txt"), td("queries.dl"), td("delete.txt"), solver, true, true)
+			return run(td("db.txt"), td("queries.dl"), td("delete.txt"), options{solver: solver, balanced: true, explain: true})
 		})
 		if err != nil {
 			t.Fatalf("solver %s: %v", solver, err)
@@ -55,16 +55,16 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope.txt", td("queries.dl"), td("delete.txt"), "auto", false, false); err == nil {
+	if err := run("nope.txt", td("queries.dl"), td("delete.txt"), options{solver: "auto"}); err == nil {
 		t.Error("missing db accepted")
 	}
-	if err := run(td("db.txt"), "nope.dl", td("delete.txt"), "auto", false, false); err == nil {
+	if err := run(td("db.txt"), "nope.dl", td("delete.txt"), options{solver: "auto"}); err == nil {
 		t.Error("missing queries accepted")
 	}
-	if err := run(td("db.txt"), td("queries.dl"), "nope.txt", "auto", false, false); err == nil {
+	if err := run(td("db.txt"), td("queries.dl"), "nope.txt", options{solver: "auto"}); err == nil {
 		t.Error("missing deletions accepted")
 	}
-	if err := run(td("db.txt"), td("queries.dl"), td("delete.txt"), "no-such-solver", false, false); err == nil {
+	if err := run(td("db.txt"), td("queries.dl"), td("delete.txt"), options{solver: "no-such-solver"}); err == nil {
 		t.Error("unknown solver accepted")
 	}
 }

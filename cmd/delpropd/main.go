@@ -2,33 +2,120 @@
 //
 // Usage:
 //
-//	delpropd -addr :8080
+//	delpropd -addr :8080 [-solve-timeout 30s] [-max-solve-timeout 2m]
+//	         [-max-body 4194304] [-max-concurrent 64] [-shutdown-grace 30s]
 //
 // Endpoints (JSON; see internal/server):
 //
-//	POST /solve     {database, queries, deletions, solver?, weights?}
-//	POST /classify  {database, queries}
-//	POST /lineage   {database, queries, tuple}
+//	POST /solve       {database, queries, deletions, solver?, weights?, timeout?}
+//	POST /classify    {database, queries}
+//	POST /lineage     {database, queries, tuple}
+//	POST /resilience  {database, queries, resilienceBudget?, timeout?}
 //	GET  /healthz
+//
+// The server enforces per-request solve deadlines, request body limits and
+// a concurrency cap with 429 load shedding, recovers solver panics into
+// 500 JSON responses, and drains in-flight solves on SIGINT/SIGTERM before
+// exiting. Operational semantics — flags, the timeout/429 contract, the
+// graceful-shutdown sequence and the error-response taxonomy — are
+// documented in docs/OPERATIONS.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"delprop/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	flag.Parse()
+	if err := run(context.Background(), os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "delpropd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is done or SIGINT/SIGTERM
+// arrives, then drains in-flight requests within the grace period. ready,
+// when non-nil, receives the bound listener address once the server
+// accepts connections (tests use it to get the ephemeral port).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("delpropd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	solveTimeout := fs.Duration("solve-timeout", server.DefaultSolveTimeout, "default per-request solve deadline")
+	maxSolveTimeout := fs.Duration("max-solve-timeout", server.DefaultMaxSolveTimeout, "cap on the request timeout field")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+	maxConcurrent := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "maximum concurrent compute requests before shedding with 429")
+	maxResilience := fs.Int("max-resilience-budget", server.DefaultMaxResilienceLimit, "cap on the resilienceBudget request field")
+	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	handler := server.NewHandler(server.Config{
+		DefaultSolveTimeout: *solveTimeout,
+		MaxSolveTimeout:     *maxSolveTimeout,
+		MaxBodyBytes:        *maxBody,
+		MaxConcurrent:       *maxConcurrent,
+		MaxResilienceBudget: *maxResilience,
+		Logger:              logger,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		// ReadTimeout bounds slow request uploads; WriteTimeout must
+		// outlast the largest admissible solve deadline or it would cut
+		// off legitimate responses mid-solve.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: *maxSolveTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
 	}
-	log.Printf("delpropd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	logger.Info("delpropd listening", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+	logger.Info("shutting down; draining in-flight requests", "grace", *shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// The grace period expired with requests still in flight: cut the
+		// remaining connections rather than hang forever.
+		logger.Warn("grace period expired; closing remaining connections", "err", err)
+		_ = srv.Close()
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("shutdown complete")
+	return nil
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"delprop/internal/core"
+	"delprop/internal/server"
+)
+
+const testDB = `
+relation T1(AuName*, Journal*)
+T1(Joe, TKDE)
+T1(John, TKDE)
+relation T2(Journal*, Topic*, Papers)
+T2(TKDE, XML, 30)
+`
+
+// drainSolver signals when a solve is in flight, then waits for release (or
+// its context) so the test controls exactly when the request finishes.
+type drainSolver struct {
+	mu      sync.Mutex
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (d *drainSolver) Name() string { return "test-drain" }
+
+func (d *drainSolver) Solve(ctx context.Context, p *core.Problem) (*core.Solution, error) {
+	d.mu.Lock()
+	if d.entered != nil {
+		close(d.entered)
+		d.entered = nil
+	}
+	d.mu.Unlock()
+	select {
+	case <-d.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &core.Solution{}, nil
+}
+
+// TestGracefulShutdownDrainsInFlightSolve: a SIGTERM while a solve is in
+// flight must let that request complete before the server exits.
+func TestGracefulShutdownDrainsInFlightSolve(t *testing.T) {
+	drain := &drainSolver{entered: make(chan struct{}), release: make(chan struct{})}
+	entered := drain.entered
+	core.RegisterSolver("test-drain", func() core.Solver { return drain })
+
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(context.Background(),
+			[]string{"-addr", "127.0.0.1:0", "-shutdown-grace", "10s"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	req := server.InstanceRequest{
+		Database:  testDB,
+		Queries:   "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+		Deletions: "Q4(John, TKDE, XML)",
+		Solver:    "test-drain",
+		Timeout:   "10s",
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(fmt.Sprintf("http://%s/solve", addr), "application/json", bytes.NewReader(raw))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: buf.Bytes()}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the solver")
+	}
+
+	// Deliver a real SIGTERM; signal.NotifyContext inside run catches it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server is now draining. New connections should be refused once
+	// Shutdown closes the listener, but the in-flight request must survive:
+	// release it and verify it completed normally.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case r := <-resCh:
+		t.Fatalf("in-flight request finished during drain before release: %+v", r)
+	default:
+	}
+	close(drain.release)
+
+	select {
+	case r := <-resCh:
+		if r.err != nil {
+			t.Fatalf("in-flight request killed by shutdown: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request status = %d: %s", r.status, r.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after draining")
+	}
+}
+
+// TestRunFlagErrors: bad flags fail fast instead of starting a server.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

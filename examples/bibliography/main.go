@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		fmt.Printf("  %s -> feasible=%v side-effect=%v collateral=%v\n",
 			sol, rep.Feasible, rep.SideEffect, rep.Collateral)
 	}
-	opt, err := (&core.BruteForce{}).Solve(p)
+	opt, err := (&core.BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 		r := p4.Evaluate(sol)
 		fmt.Printf("  delete %s -> feasible=%v side-effect=%v\n", id, r.Feasible, r.SideEffect)
 	}
-	best, err := (&core.SingleTupleExact{}).Solve(p4)
+	best, err := (&core.SingleTupleExact{}).Solve(context.Background(), p4)
 	if err != nil {
 		log.Fatal(err)
 	}

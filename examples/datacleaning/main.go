@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,7 +58,7 @@ func main() {
 	}
 
 	// Batch propagation (this paper): one solve over all feedback.
-	batch, err := (&core.RedBlue{}).Solve(p)
+	batch, err := (&core.RedBlue{}).Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func main() {
 		for _, r := range refs {
 			sub.Delta.Add(view.TupleRef{View: 0, Tuple: r.Tuple})
 		}
-		sol, err := (&core.RedBlue{}).Solve(sub)
+		sol, err := (&core.RedBlue{}).Solve(context.Background(), sub)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func main() {
 
 	// The balanced variant: when feedback may be noisy, trade leftover bad
 	// tuples against collateral damage (Section V, "Balanced version").
-	bal, err := (&core.BalancedRedBlue{}).Solve(p)
+	bal, err := (&core.BalancedRedBlue{}).Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	// 4. Solve with the paper's general-case algorithm (Claim 1) and with
 	// the exact reference.
 	for _, solver := range []core.Solver{&core.RedBlue{}, &core.RedBlueExact{}} {
-		sol, err := solver.Solve(p)
+		sol, err := solver.Solve(context.Background(), p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	// Resilience of Q3 = T1 ⋈ T2: how many source deletions to silence
 	// the view entirely?
 	q3 := w.Queries[0]
-	n, sol, err := core.Resilience(q3, w.DB, 0)
+	n, sol, err := core.Resilience(context.Background(), q3, w.DB, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 		db.MustInsert(e[2], e[0], e[1])
 	}
 	tri := cq.MustParse("Tri(x, y, z) :- R(x, y), S(y, z), T(z, x)")
-	n, sol, err = core.Resilience(tri, db, 0)
+	n, sol, err = core.Resilience(context.Background(), tri, db, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := (&core.SingleTupleExact{}).Solve(p)
+	best, err := (&core.SingleTupleExact{}).Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

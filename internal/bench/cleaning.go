@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -64,7 +65,7 @@ func runCleaning(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			sol, err := (&core.RedBlue{}).Solve(p)
+			sol, err := (&core.RedBlue{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}

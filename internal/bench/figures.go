@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ func runFig1(w io.Writer) error {
 		return err
 	}
 	p.Delta.Add(view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}})
-	opt, err := (&core.BruteForce{}).Solve(p)
+	opt, err := (&core.BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -57,7 +58,7 @@ func runFig1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sol, err := (&core.SingleTupleExact{}).Solve(p4)
+	sol, err := (&core.SingleTupleExact{}).Solve(context.Background(), p4)
 	if err != nil {
 		return err
 	}
@@ -82,7 +83,7 @@ func runFig2(w io.Writer) error {
 	t.Add("table T", fmt.Sprintf("%d tuples (one per set)", p.DB.Size()))
 	t.Add("views", fmt.Sprintf("%d (Vr1 + Vb1..Vb3), each a single join path", len(p.Views)))
 	t.Add("ΔV", p.Delta.String())
-	opt, err := (&core.BruteForce{}).Solve(p)
+	opt, err := (&core.BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -99,11 +100,11 @@ func runClaim1(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.RedBlue{}).Solve(p)
+				approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.RedBlueExact{}).Solve(p)
+				opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
@@ -148,11 +149,11 @@ func runLemma1(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.BalancedRedBlue{}).Solve(p)
+				approx, err := (&core.BalancedRedBlue{}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.BalancedRedBlue{Exact: true}).Solve(p)
+				opt, err := (&core.BalancedRedBlue{Exact: true}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
@@ -195,11 +196,11 @@ func runThm3(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.PrimalDual{}).Solve(p)
+				approx, err := (&core.PrimalDual{}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.RedBlueExact{}).Solve(p)
+				opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 				if err != nil {
 					return err
 				}
@@ -242,11 +243,11 @@ func runThm4(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			approx, err := (&core.LowDegTreeTwo{}).Solve(p)
+			approx, err := (&core.LowDegTreeTwo{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
-			opt, err := (&core.RedBlueExact{}).Solve(p)
+			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
@@ -290,13 +291,13 @@ func runDPTree(w io.Writer) error {
 				continue
 			}
 			t0 := time.Now()
-			dp, err := (&core.DPTree{}).Solve(p)
+			dp, err := (&core.DPTree{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
 			dpTime := time.Since(t0)
 			t0 = time.Now()
-			bf, err := (&core.BruteForce{}).Solve(p)
+			bf, err := (&core.BruteForce{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
@@ -326,7 +327,7 @@ func runDPTree(w io.Writer) error {
 		var best time.Duration
 		for rep := 0; rep < 3; rep++ {
 			t0 := time.Now()
-			if _, err := (&core.DPTree{}).Solve(p); err != nil {
+			if _, err := (&core.DPTree{}).Solve(context.Background(), p); err != nil {
 				return err
 			}
 			if d := time.Since(t0); rep == 0 || d < best {
@@ -367,7 +368,7 @@ func runScalability(w io.Writer) error {
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
 			t0 := time.Now()
-			if _, err := s.Solve(p); err != nil {
+			if _, err := s.Solve(context.Background(), p); err != nil {
 				times = append(times, "err: "+err.Error())
 				continue
 			}
@@ -400,7 +401,7 @@ func runScalability(w io.Writer) error {
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
 			t0 := time.Now()
-			if _, err := s.Solve(p); err != nil {
+			if _, err := s.Solve(context.Background(), p); err != nil {
 				times = append(times, "err: "+err.Error())
 				continue
 			}
@@ -431,7 +432,7 @@ func runScalability(w io.Writer) error {
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
 			t0 := time.Now()
-			if _, err := s.Solve(p); err != nil {
+			if _, err := s.Solve(context.Background(), p); err != nil {
 				times = append(times, "err: "+err.Error())
 				continue
 			}
@@ -478,11 +479,11 @@ func runHardnessGap(w io.Writer) error {
 				return err
 			}
 			p := v.Problem
-			approx, err := (&core.RedBlue{}).Solve(p)
+			approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
-			opt, err := (&core.RedBlueExact{}).Solve(p)
+			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}

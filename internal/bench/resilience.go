@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -48,7 +49,7 @@ func runResilience(w io.Writer) error {
 		fill2("S")
 		chainQ := cq.MustParse("Q(a, b, c) :- R(a, b), S(b, c)")
 		t0 := time.Now()
-		chainN, chainSol, err := core.Resilience(chainQ, chainDB, 0)
+		chainN, chainSol, err := core.Resilience(context.Background(), chainQ, chainDB, 0)
 		if err != nil {
 			return err
 		}
@@ -83,7 +84,7 @@ func runResilience(w io.Writer) error {
 		}
 		triQ := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 		t0 = time.Now()
-		triN, triSol, err := core.Resilience(triQ, triDB, 30)
+		triN, triSol, err := core.Resilience(context.Background(), triQ, triDB, 30)
 		if err != nil {
 			return err
 		}

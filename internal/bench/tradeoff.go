@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,11 +43,11 @@ func runTradeoff(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			viewSol, err := (&core.RedBlueExact{}).Solve(p)
+			viewSol, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
-			srcSol, err := (&core.SourceExact{}).Solve(p)
+			srcSol, err := (&core.SourceExact{}).Solve(context.Background(), p)
 			if err != nil {
 				if errors.Is(err, core.ErrTooLarge) {
 					continue
@@ -93,12 +94,12 @@ func runCombined(w io.Writer) error {
 				continue
 			}
 			t0 := nowNanos()
-			approx, err := (&core.RedBlue{}).Solve(p)
+			approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}
 			sumTime += nowNanos() - t0
-			opt, err := (&core.RedBlueExact{}).Solve(p)
+			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 )
@@ -100,8 +101,13 @@ type Portfolio struct {
 // Name implements Solver.
 func (pf *Portfolio) Name() string { return "portfolio" }
 
-// Solve implements Solver.
-func (pf *Portfolio) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. Cancellation degrades gracefully: a member
+// interrupted mid-search contributes the incumbent its *Interrupted error
+// carries, and as long as any member (finished or interrupted) produced a
+// feasible solution the portfolio returns the best of them with no error.
+// Only when the context fires before any feasible solution exists does the
+// portfolio return the interruption itself.
+func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	solvers := pf.Solvers
 	if solvers == nil {
 		solvers = ApproxSolvers()
@@ -117,14 +123,14 @@ func (pf *Portfolio) Solve(p *Problem) (*Solution, error) {
 			wg.Add(1)
 			go func(i int, s Solver) {
 				defer wg.Done()
-				sol, err := s.Solve(p)
+				sol, err := s.Solve(ctx, p)
 				outcomes[i] = outcome{sol: sol, err: err}
 			}(i, s)
 		}
 		wg.Wait()
 	} else {
 		for i, s := range solvers {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(ctx, p)
 			outcomes[i] = outcome{sol: sol, err: err}
 		}
 	}
@@ -132,23 +138,31 @@ func (pf *Portfolio) Solve(p *Problem) (*Solution, error) {
 	var bestRep Report
 	var firstErr error
 	for _, o := range outcomes {
+		sol := o.sol
 		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
+			if inc, ok := Best(o.err); ok {
+				sol = inc
+			} else {
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				continue
 			}
-			continue
 		}
-		rep := p.Evaluate(o.sol)
+		rep := p.Evaluate(sol)
 		if !rep.Feasible {
 			continue
 		}
 		if best == nil ||
 			rep.SideEffect < bestRep.SideEffect ||
 			(rep.SideEffect == bestRep.SideEffect && rep.DeletedCount < bestRep.DeletedCount) {
-			best, bestRep = o.sol, rep
+			best, bestRep = sol, rep
 		}
 	}
 	if best == nil {
+		if err := checkCtx(ctx, pf.Name(), nil); err != nil {
+			return nil, err
+		}
 		if firstErr != nil {
 			return nil, firstErr
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestDualBoundBelowOptimum(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			opt, err := (&RedBlueExact{}).Solve(p)
+			opt, err := (&RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,7 +52,7 @@ func TestDualBoundWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := (&RedBlueExact{}).Solve(p)
+	opt, err := (&RedBlueExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestDualBoundZeroWhenFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, _ := (&RedBlueExact{}).Solve(p)
+	opt, _ := (&RedBlueExact{}).Solve(context.Background(), p)
 	optCost := p.Evaluate(opt).SideEffect
 	if optCost == 0 && lb != 0 {
 		t.Errorf("optimum 0 but bound %v", lb)
@@ -93,7 +94,7 @@ func TestPortfolioPicksBest(t *testing.T) {
 			continue
 		}
 		pf := &Portfolio{}
-		sol, err := pf.Solve(p)
+		sol, err := pf.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestPortfolioPicksBest(t *testing.T) {
 		}
 		// Portfolio is at least as good as each member.
 		for _, s := range ApproxSolvers() {
-			ms, err := s.Solve(p)
+			ms, err := s.Solve(context.Background(), p)
 			if err != nil {
 				continue
 			}
@@ -118,7 +119,7 @@ func TestPortfolioSkipsFailingSolvers(t *testing.T) {
 	p := fig1Q4Problem(t)
 	// DPTree errors on this non-pivot instance; greedy succeeds.
 	pf := &Portfolio{Solvers: []Solver{&DPTree{}, &Greedy{}}}
-	sol, err := pf.Solve(p)
+	sol, err := pf.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestPortfolioSkipsFailingSolvers(t *testing.T) {
 	}
 	// All failing: first error surfaces.
 	pfBad := &Portfolio{Solvers: []Solver{&DPTree{}}}
-	if _, err := pfBad.Solve(p); !errors.Is(err, ErrNotPivotForest) {
+	if _, err := pfBad.Solve(context.Background(), p); !errors.Is(err, ErrNotPivotForest) {
 		t.Errorf("err = %v, want ErrNotPivotForest", err)
 	}
 }
@@ -146,11 +147,11 @@ func TestPortfolioParallelMatchesSequential(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		seq, err := (&Portfolio{}).Solve(p)
+		seq, err := (&Portfolio{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := (&Portfolio{Parallel: true}).Solve(p)
+		par, err := (&Portfolio{Parallel: true}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/relation"
@@ -27,8 +28,10 @@ func (b *BruteForce) Name() string {
 	return "brute-force"
 }
 
-// Solve implements Solver.
-func (b *BruteForce) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. The mask scan is an anytime search: on context
+// interruption the returned *Interrupted carries the best feasible subset
+// found so far (when any).
+func (b *BruteForce) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	max := b.MaxCandidates
 	if max == 0 {
 		max = 22
@@ -41,6 +44,11 @@ func (b *BruteForce) Solve(p *Problem) (*Solution, error) {
 	bestCost := 0.0
 	n := len(cands)
 	for mask := 0; mask < 1<<n; mask++ {
+		if mask%checkEvery == 0 {
+			if err := checkCtx(ctx, b.Name(), best); err != nil {
+				return nil, err
+			}
+		}
 		var del []relation.TupleID
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -138,7 +139,7 @@ func TestEvaluateMatchesReevaluation(t *testing.T) {
 
 func TestBruteForceFig1Q3(t *testing.T) {
 	p := fig1Q3Problem(t)
-	sol, err := (&BruteForce{}).Solve(p)
+	sol, err := (&BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,14 +155,14 @@ func TestBruteForceFig1Q3(t *testing.T) {
 
 func TestBruteForceTooLarge(t *testing.T) {
 	p := fig1Q3Problem(t)
-	if _, err := (&BruteForce{MaxCandidates: 2}).Solve(p); !errors.Is(err, ErrTooLarge) {
+	if _, err := (&BruteForce{MaxCandidates: 2}).Solve(context.Background(), p); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
 	}
 }
 
 func TestSingleTupleExactFig1Q4(t *testing.T) {
 	p := fig1Q4Problem(t)
-	sol, err := (&SingleTupleExact{}).Solve(p)
+	sol, err := (&SingleTupleExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSingleTupleExactFig1Q4(t *testing.T) {
 		t.Errorf("side-effect = %v, want 1", rep.SideEffect)
 	}
 	// Agrees with brute force.
-	bf, err := (&BruteForce{}).Solve(p)
+	bf, err := (&BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,12 +187,12 @@ func TestSingleTupleExactFig1Q4(t *testing.T) {
 
 func TestSingleTupleExactPreconditions(t *testing.T) {
 	p := fig1Q3Problem(t) // not key-preserving, two derivations
-	if _, err := (&SingleTupleExact{}).Solve(p); err == nil {
+	if _, err := (&SingleTupleExact{}).Solve(context.Background(), p); err == nil {
 		t.Error("non-key-preserving accepted")
 	}
 	p4 := fig1Q4Problem(t)
 	p4.Delta.Add(view.TupleRef{View: 0, Tuple: tup("Joe", "TKDE", "XML")})
-	if _, err := (&SingleTupleExact{}).Solve(p4); err == nil {
+	if _, err := (&SingleTupleExact{}).Solve(context.Background(), p4); err == nil {
 		t.Error("multi-tuple deletion accepted")
 	}
 }
@@ -199,7 +200,7 @@ func TestSingleTupleExactPreconditions(t *testing.T) {
 func TestGreedyFeasibleFig1(t *testing.T) {
 	for _, mk := range []func(*testing.T) *Problem{fig1Q3Problem, fig1Q4Problem} {
 		p := mk(t)
-		sol, err := (&Greedy{}).Solve(p)
+		sol, err := (&Greedy{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func TestKeyPreservingSolverRejection(t *testing.T) {
 	p := fig1Q3Problem(t)
 	solvers := []Solver{&RedBlue{}, &RedBlueExact{}, &BalancedRedBlue{}, &PrimalDual{}, &LowDegTreeTwo{}, &LowDegTree{Tau: 3}, &DPTree{}}
 	for _, s := range solvers {
-		if _, err := s.Solve(p); !errors.Is(err, ErrNotKeyPreserving) {
+		if _, err := s.Solve(context.Background(), p); !errors.Is(err, ErrNotKeyPreserving) {
 			t.Errorf("%s: err = %v, want ErrNotKeyPreserving", s.Name(), err)
 		}
 	}
@@ -282,7 +283,7 @@ func TestSelfJoinWorkload(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		bf, err := (&BruteForce{}).Solve(p)
+		bf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -294,7 +295,7 @@ func TestSelfJoinWorkload(t *testing.T) {
 			t.Fatalf("seed %d: brute infeasible", seed)
 		}
 		for _, s := range []Solver{&RedBlue{}, &RedBlueExact{}, &Greedy{}, &PrimalDual{}} {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
 			}
@@ -327,7 +328,7 @@ func TestSolversFeasibleAndBounded(t *testing.T) {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			bf, err := (&BruteForce{}).Solve(p)
+			bf, err := (&BruteForce{}).Solve(context.Background(), p)
 			if err != nil {
 				if errors.Is(err, ErrTooLarge) {
 					continue
@@ -338,7 +339,7 @@ func TestSolversFeasibleAndBounded(t *testing.T) {
 			if !opt.Feasible {
 				t.Fatalf("%s/%d: brute infeasible", name, seed)
 			}
-			rbe, err := (&RedBlueExact{}).Solve(p)
+			rbe, err := (&RedBlueExact{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s/%d: red-blue-exact: %v", name, seed, err)
 			}
@@ -346,7 +347,7 @@ func TestSolversFeasibleAndBounded(t *testing.T) {
 				t.Errorf("%s/%d: red-blue-exact %v != brute %v", name, seed, got.SideEffect, opt.SideEffect)
 			}
 			for _, s := range ApproxSolvers() {
-				sol, err := s.Solve(p)
+				sol, err := s.Solve(context.Background(), p)
 				if err != nil {
 					t.Fatalf("%s/%d: %s: %v", name, seed, s.Name(), err)
 				}
@@ -370,12 +371,12 @@ func TestTheorem4Bound(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		bf, err := (&RedBlueExact{}).Solve(p)
+		bf, err := (&RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		opt := p.Evaluate(bf).SideEffect
-		sol, err := (&LowDegTreeTwo{}).Solve(p)
+		sol, err := (&LowDegTreeTwo{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -400,12 +401,12 @@ func TestTheorem3Bound(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		bf, err := (&RedBlueExact{}).Solve(p)
+		bf, err := (&RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		opt := p.Evaluate(bf).SideEffect
-		sol, err := (&PrimalDual{}).Solve(p)
+		sol, err := (&PrimalDual{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -428,7 +429,7 @@ func TestDPTreeExactOnPivot(t *testing.T) {
 		if !IsPivotForest(p) {
 			t.Fatalf("seed %d: pivot workload not detected as pivot forest", seed)
 		}
-		dp, err := (&DPTree{}).Solve(p)
+		dp, err := (&DPTree{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -436,7 +437,7 @@ func TestDPTreeExactOnPivot(t *testing.T) {
 		if !dpRep.Feasible {
 			t.Fatalf("seed %d: DP infeasible", seed)
 		}
-		bf, err := (&BruteForce{}).Solve(p)
+		bf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -467,7 +468,7 @@ func TestDPTreeExactOnDepth3Pivot(t *testing.T) {
 		if !IsPivotForest(p) {
 			t.Fatalf("seed %d: depth-3 pivot workload not detected", seed)
 		}
-		dp, err := (&DPTree{}).Solve(p)
+		dp, err := (&DPTree{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -475,7 +476,7 @@ func TestDPTreeExactOnDepth3Pivot(t *testing.T) {
 		if !rep.Feasible {
 			t.Fatalf("seed %d: DP infeasible", seed)
 		}
-		bf, err := (&BruteForce{}).Solve(p)
+		bf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -490,7 +491,7 @@ func TestDPTreeExactOnDepth3Pivot(t *testing.T) {
 
 func TestDPTreeRejectsNonPivot(t *testing.T) {
 	p := fig1Q4Problem(t)
-	if _, err := (&DPTree{}).Solve(p); !errors.Is(err, ErrNotPivotForest) {
+	if _, err := (&DPTree{}).Solve(context.Background(), p); !errors.Is(err, ErrNotPivotForest) {
 		t.Errorf("err = %v, want ErrNotPivotForest", err)
 	}
 	if IsPivotForest(p) {
@@ -507,7 +508,7 @@ func TestBalancedSolvers(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		bb, err := (&BruteForce{Balanced: true}).Solve(p)
+		bb, err := (&BruteForce{Balanced: true}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -515,14 +516,14 @@ func TestBalancedSolvers(t *testing.T) {
 			t.Fatal(err)
 		}
 		optBal := p.Evaluate(bb).Balanced
-		be, err := (&BalancedRedBlue{Exact: true}).Solve(p)
+		be, err := (&BalancedRedBlue{Exact: true}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := p.Evaluate(be).Balanced; math.Abs(got-optBal) > 1e-9 {
 			t.Errorf("seed %d: balanced exact %v != balanced brute %v", seed, got, optBal)
 		}
-		ap, err := (&BalancedRedBlue{}).Solve(p)
+		ap, err := (&BalancedRedBlue{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -531,7 +532,7 @@ func TestBalancedSolvers(t *testing.T) {
 		}
 		// Balanced optimum ≤ standard optimum (when the standard problem
 		// is feasible): dropping the constraint can't hurt.
-		sf, err := (&BruteForce{}).Solve(p)
+		sf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err == nil {
 			if std := p.Evaluate(sf).SideEffect; optBal > std+1e-9 {
 				t.Errorf("seed %d: balanced optimum %v exceeds standard optimum %v", seed, optBal, std)
@@ -548,12 +549,12 @@ func TestDPTreeBalanced(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		dp, err := (&DPTree{Balanced: true}).Solve(p)
+		dp, err := (&DPTree{Balanced: true}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		got := p.Evaluate(dp).Balanced
-		bb, err := (&BruteForce{Balanced: true}).Solve(p)
+		bb, err := (&BruteForce{Balanced: true}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -575,7 +576,7 @@ func TestWeightedSolvers(t *testing.T) {
 			continue
 		}
 		p.Weights = workload.SampleWeights(p.Views, p.Delta, 5, seed+100)
-		bf, err := (&BruteForce{}).Solve(p)
+		bf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -583,14 +584,14 @@ func TestWeightedSolvers(t *testing.T) {
 			t.Fatal(err)
 		}
 		opt := p.Evaluate(bf).SideEffect
-		rbe, err := (&RedBlueExact{}).Solve(p)
+		rbe, err := (&RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := p.Evaluate(rbe).SideEffect; math.Abs(got-opt) > 1e-9 {
 			t.Errorf("seed %d: weighted red-blue-exact %v != %v", seed, got, opt)
 		}
-		dp, err := (&DPTree{}).Solve(p)
+		dp, err := (&DPTree{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -598,7 +599,7 @@ func TestWeightedSolvers(t *testing.T) {
 			t.Errorf("seed %d: weighted DP %v != %v", seed, got, opt)
 		}
 		for _, s := range ApproxSolvers() {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name(), err)
 			}
@@ -628,11 +629,11 @@ func TestPrimalDualNoPruneAblation(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		withPrune, err := (&PrimalDual{}).Solve(p)
+		withPrune, err := (&PrimalDual{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		noPrune, err := (&PrimalDual{NoPrune: true}).Solve(p)
+		noPrune, err := (&PrimalDual{NoPrune: true}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -653,7 +654,7 @@ func TestEmptyDeletionIsTrivial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range append(ApproxSolvers(), ExactSolvers()...) {
-		sol, err := s.Solve(p)
+		sol, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -673,7 +674,7 @@ func TestFeasibilityMonotoneQuick(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			return true
 		}
-		base, err := (&Greedy{}).Solve(p)
+		base, err := (&Greedy{}).Solve(context.Background(), p)
 		if err != nil {
 			return false
 		}
@@ -724,7 +725,7 @@ func TestLowDegTreeInfeasibleTau(t *testing.T) {
 	p := fig1Q4Problem(t)
 	// Every candidate tuple of (John,TKDE,XML) touches ≥1 preserved view
 	// tuple, so τ=0 bars all of them.
-	if _, err := (&LowDegTree{Tau: 0}).Solve(p); !errors.Is(err, ErrInfeasibleRestriction) {
+	if _, err := (&LowDegTree{Tau: 0}).Solve(context.Background(), p); !errors.Is(err, ErrInfeasibleRestriction) {
 		t.Errorf("err = %v, want ErrInfeasibleRestriction", err)
 	}
 }
@@ -733,7 +734,7 @@ func TestLowDegTreeInfeasibleTau(t *testing.T) {
 // tuples loses nothing — verified against an unrestricted search.
 func TestBruteForceRestrictionLossless(t *testing.T) {
 	p := fig1Q4Problem(t)
-	bf, err := (&BruteForce{}).Solve(p)
+	bf, err := (&BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

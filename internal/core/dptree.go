@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -293,14 +294,21 @@ func (d *DPTree) Name() string {
 }
 
 // Solve implements Solver. Returns ErrNotPivotForest when the structure is
-// absent.
-func (d *DPTree) Solve(p *Problem) (*Solution, error) {
+// absent. The DP is polynomial; the checkpoint granularity is one tree per
+// poll (forest detection dominates the cost anyway).
+func (d *DPTree) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := checkCtx(ctx, d.Name(), nil); err != nil {
+		return nil, err
+	}
 	forest, err := BuildPivotForest(p)
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{}
 	for _, root := range forest.roots {
+		if err := checkCtx(ctx, d.Name(), nil); err != nil {
+			return nil, err
+		}
 		if !root.hasDelta {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/core"
@@ -31,7 +32,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	sol, err := (&core.SingleTupleExact{}).Solve(p)
+	sol, err := (&core.SingleTupleExact{}).Solve(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}
@@ -59,7 +60,7 @@ func ExampleRedBlue() {
 	if err != nil {
 		panic(err)
 	}
-	sol, err := (&core.RedBlue{}).Solve(p)
+	sol, err := (&core.RedBlue{}).Solve(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}
@@ -88,7 +89,7 @@ func ExampleDualBound() {
 	if err != nil {
 		panic(err)
 	}
-	sol, _ := (&core.RedBlueExact{}).Solve(p)
+	sol, _ := (&core.RedBlueExact{}).Solve(context.Background(), p)
 	fmt.Printf("lower bound %.2f ≤ optimum %.2f\n", lb, p.Evaluate(sol).SideEffect)
 	// Output: lower bound 2.00 ≤ optimum 3.00
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// FaultMode selects the failure a Faulty solver injects.
+type FaultMode int
+
+const (
+	// FaultBlock parks the solver until its context is done, then returns
+	// the typed interruption — a worst-case cooperative solver.
+	FaultBlock FaultMode = iota
+	// FaultIgnoreCtx busy-waits without ever polling the context — a
+	// worst-case non-cooperative solver that the serving layer must
+	// contain on its own.
+	FaultIgnoreCtx
+	// FaultPanic panics mid-solve.
+	FaultPanic
+)
+
+// Faulty is the fault-injection solver used by the server hardening tests
+// (and available behind no production route): it blocks, ignores its
+// context, or panics on demand, so tests can prove each failure mode is
+// contained by the layer above.
+type Faulty struct {
+	Mode FaultMode
+	// Stall bounds how long FaultIgnoreCtx spins (default 5s) so a
+	// misconfigured test cannot wedge a worker forever.
+	Stall time.Duration
+}
+
+// Name implements Solver.
+func (f *Faulty) Name() string {
+	switch f.Mode {
+	case FaultIgnoreCtx:
+		return "faulty-ignore-ctx"
+	case FaultPanic:
+		return "faulty-panic"
+	}
+	return "faulty-block"
+}
+
+// Solve implements Solver.
+func (f *Faulty) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	switch f.Mode {
+	case FaultIgnoreCtx:
+		stall := f.Stall
+		if stall == 0 {
+			stall = 5 * time.Second
+		}
+		deadline := time.Now().Add(stall)
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		return &Solution{}, nil
+	case FaultPanic:
+		panic("core: injected solver panic")
+	default:
+		<-ctx.Done()
+		return nil, interruption(ctx, f.Name(), nil)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/relation"
@@ -26,15 +27,17 @@ type Greedy struct {
 // Name implements Solver.
 func (g *Greedy) Name() string { return "greedy" }
 
-// Solve implements Solver.
-func (g *Greedy) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. Greedy builds its solution constructively, so
+// an interruption carries no incumbent: a partial greedy prefix is not
+// feasible.
+func (g *Greedy) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if g.Naive {
-		return g.solveNaive(p)
+		return g.solveNaive(ctx, p)
 	}
-	return g.solveIncremental(p)
+	return g.solveIncremental(ctx, p)
 }
 
-func (g *Greedy) solveIncremental(p *Problem) (*Solution, error) {
+func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, error) {
 	cands := p.CandidateTuples()
 	m := view.NewMaintainer(p.Views)
 	deltaRefs := p.Delta.Refs()
@@ -58,6 +61,9 @@ func (g *Greedy) solveIncremental(p *Problem) (*Solution, error) {
 	}
 	taken := make(map[string]bool)
 	for {
+		if err := checkCtx(ctx, g.Name(), nil); err != nil {
+			return nil, err
+		}
 		bad := aliveBad()
 		if bad == 0 {
 			break
@@ -99,7 +105,7 @@ func (g *Greedy) solveIncremental(p *Problem) (*Solution, error) {
 	return &Solution{Deleted: chosen}, nil
 }
 
-func (g *Greedy) solveNaive(p *Problem) (*Solution, error) {
+func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) {
 	cands := p.CandidateTuples()
 	deleted := make(map[string]bool)
 	var chosen []relation.TupleID
@@ -152,6 +158,9 @@ func (g *Greedy) solveNaive(p *Problem) (*Solution, error) {
 	}
 
 	for {
+		if err := checkCtx(ctx, g.Name(), nil); err != nil {
+			return nil, err
+		}
 		bad := aliveBad()
 		if len(bad) == 0 {
 			break

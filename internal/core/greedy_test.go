@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"delprop/internal/view"
@@ -21,11 +22,11 @@ func TestGreedyIncrementalMatchesNaive(t *testing.T) {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			inc, err := (&Greedy{}).Solve(p)
+			inc, err := (&Greedy{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s/%d incremental: %v", name, seed, err)
 			}
-			naive, err := (&Greedy{Naive: true}).Solve(p)
+			naive, err := (&Greedy{Naive: true}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s/%d naive: %v", name, seed, err)
 			}
@@ -48,7 +49,7 @@ func TestGreedyIncrementalMatchesNaive(t *testing.T) {
 func TestGreedyMultiDerivation(t *testing.T) {
 	p := fig1Q3Problem(t)
 	for _, g := range []*Greedy{{}, {Naive: true}} {
-		sol, err := g.Solve(p)
+		sol, err := g.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("naive=%v: %v", g.Naive, err)
 		}
@@ -67,7 +68,7 @@ func TestGreedyWeightsSteerChoice(t *testing.T) {
 	// Make John/TKDE/CUBE enormously heavy: the T2 deletion (collateral
 	// weight 2) must win.
 	p.SetWeight(view.TupleRef{View: 0, Tuple: tup("John", "TKDE", "CUBE")}, 100)
-	sol, err := (&Greedy{}).Solve(p)
+	sol, err := (&Greedy{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

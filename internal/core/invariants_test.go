@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -79,21 +80,21 @@ func TestIsomorphismInvariance(t *testing.T) {
 				cost  func(*Problem) (float64, error)
 			}{
 				{"view", func(q *Problem) (float64, error) {
-					sol, err := (&RedBlueExact{}).Solve(q)
+					sol, err := (&RedBlueExact{}).Solve(context.Background(), q)
 					if err != nil {
 						return 0, err
 					}
 					return q.Evaluate(sol).SideEffect, nil
 				}},
 				{"balanced", func(q *Problem) (float64, error) {
-					sol, err := (&BalancedRedBlue{Exact: true}).Solve(q)
+					sol, err := (&BalancedRedBlue{Exact: true}).Solve(context.Background(), q)
 					if err != nil {
 						return 0, err
 					}
 					return q.Evaluate(sol).Balanced, nil
 				}},
 				{"source", func(q *Problem) (float64, error) {
-					sol, err := (&SourceExact{}).Solve(q)
+					sol, err := (&SourceExact{}).Solve(context.Background(), q)
 					if err != nil {
 						return 0, err
 					}
@@ -128,11 +129,11 @@ func TestSolverDeterminism(t *testing.T) {
 			continue
 		}
 		for _, s := range solvers {
-			a, err := s.Solve(p)
+			a, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name(), err)
 			}
-			b, err := s.Solve(p)
+			b, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name(), err)
 			}
@@ -150,11 +151,11 @@ func TestDPTreeDeterminism(t *testing.T) {
 	if p.Delta.Len() == 0 {
 		t.Skip("empty delta")
 	}
-	a, err := (&DPTree{}).Solve(p)
+	a, err := (&DPTree{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (&DPTree{}).Solve(p)
+	b, err := (&DPTree{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

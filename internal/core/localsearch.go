@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"delprop/internal/relation"
@@ -32,9 +33,13 @@ func (ls *LocalSearch) inner() Solver {
 	return &Greedy{}
 }
 
-// Solve implements Solver.
-func (ls *LocalSearch) Solve(p *Problem) (*Solution, error) {
-	start, err := ls.inner().Solve(p)
+// Solve implements Solver. Hill climbing is the canonical anytime solver:
+// every accepted move keeps the solution feasible and never worse, so an
+// interruption mid-climb returns an *Interrupted carrying the current
+// solution as incumbent (an interruption inside the inner solver is
+// propagated unchanged, incumbent and all).
+func (ls *LocalSearch) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	start, err := ls.inner().Solve(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +79,9 @@ func (ls *LocalSearch) Solve(p *Problem) (*Solution, error) {
 		// Drop moves.
 		for k, id := range sortedEntries(current) {
 			_ = k
+			if err := checkCtx(ctx, ls.Name(), toSolution()); err != nil {
+				return nil, err
+			}
 			delete(current, id.Key())
 			if c, ok := score(); ok && c <= bestCost {
 				if c < bestCost {
@@ -86,6 +94,9 @@ func (ls *LocalSearch) Solve(p *Problem) (*Solution, error) {
 		}
 		// Swap moves: replace one deletion with one candidate.
 		for _, id := range sortedEntries(current) {
+			if err := checkCtx(ctx, ls.Name(), toSolution()); err != nil {
+				return nil, err
+			}
 			for _, alt := range cands {
 				if _, in := current[alt.Key()]; in || alt.Key() == id.Key() {
 					continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -19,12 +20,12 @@ func TestLocalSearchNeverWorse(t *testing.T) {
 				continue
 			}
 			inner := &Greedy{}
-			base, err := inner.Solve(p)
+			base, err := inner.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
 			ls := &LocalSearch{Inner: inner}
-			sol, err := ls.Solve(p)
+			sol, err := ls.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -49,11 +50,11 @@ func TestLocalSearchImprovesSomewhere(t *testing.T) {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			base, err := (&Greedy{}).Solve(p)
+			base, err := (&Greedy{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sol, err := (&LocalSearch{}).Solve(p)
+			sol, err := (&LocalSearch{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,11 +76,11 @@ func TestLocalSearchRespectsOptimum(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		opt, err := (&RedBlueExact{}).Solve(p)
+		opt, err := (&RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := (&LocalSearch{}).Solve(p)
+		sol, err := (&LocalSearch{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestLocalSearchDropRedundant(t *testing.T) {
 	p := fig1Q4Problem(t)
 	padded := &fixedSolver{sol: &Solution{Deleted: p.CandidateTuples()}}
 	ls := &LocalSearch{Inner: padded}
-	sol, err := ls.Solve(p)
+	sol, err := ls.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +114,10 @@ func TestLocalSearchDropRedundant(t *testing.T) {
 // fixedSolver returns a canned solution.
 type fixedSolver struct{ sol *Solution }
 
-func (f *fixedSolver) Name() string                      { return "fixed" }
-func (f *fixedSolver) Solve(*Problem) (*Solution, error) { return f.sol, nil }
+func (f *fixedSolver) Name() string { return "fixed" }
+func (f *fixedSolver) Solve(context.Context, *Problem) (*Solution, error) {
+	return f.sol, nil
+}
 
 func TestLocalSearchName(t *testing.T) {
 	if got := (&LocalSearch{}).Name(); got != "local-search(greedy)" {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,7 +25,7 @@ func (l *LowDegTree) Name() string { return fmt.Sprintf("low-deg-tree(τ=%d)", l
 // cap removes every deletable tuple of some requested view tuple — the
 // "return D" branch of Algorithm 2, which the τ-sweep of Algorithm 3
 // treats as "skip this τ".
-func (l *LowDegTree) Solve(p *Problem) (*Solution, error) {
+func (l *LowDegTree) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := requireKeyPreserving(p, l.Name()); err != nil {
 		return nil, err
 	}
@@ -64,7 +65,7 @@ func (l *LowDegTree) Solve(p *Problem) (*Solution, error) {
 		restrictCandidates: allowed,
 		restrictPreserved:  keepPreserved,
 	}
-	return pd.Solve(p)
+	return pd.Solve(ctx, p)
 }
 
 // LowDegTreeTwo implements Algorithm 3 (LowDegTreeVSETwo): sweep the
@@ -80,7 +81,7 @@ func (l *LowDegTreeTwo) Name() string { return "low-deg-tree-two" }
 // preserved-degrees of the candidate tuples: LowDegTree's output depends
 // solely on which candidates the cap admits, and that set only changes at
 // those values, so this is equivalent to the paper's τ = 1..|R| loop.
-func (l *LowDegTreeTwo) Solve(p *Problem) (*Solution, error) {
+func (l *LowDegTreeTwo) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := requireKeyPreserving(p, l.Name()); err != nil {
 		return nil, err
 	}
@@ -106,11 +107,19 @@ func (l *LowDegTreeTwo) Solve(p *Problem) (*Solution, error) {
 	var best *Solution
 	bestCost := math.Inf(1)
 	for _, tau := range taus {
+		// The sweep is anytime across τ values: keep the best feasible
+		// solution seen so far as the incumbent.
+		if err := checkCtx(ctx, l.Name(), best); err != nil {
+			return nil, err
+		}
 		inner := &LowDegTree{Tau: tau}
-		sol, err := inner.Solve(p)
+		sol, err := inner.Solve(ctx, p)
 		if err != nil {
 			if errors.Is(err, ErrInfeasibleRestriction) {
 				continue
+			}
+			if isCtxErr(err) {
+				return nil, interruption(ctx, l.Name(), best)
 			}
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"delprop/internal/relation"
@@ -48,7 +49,10 @@ func (pd *PrimalDual) Name() string { return "primal-dual" }
 const saturationEps = 1e-9
 
 // Solve implements Solver.
-func (pd *PrimalDual) Solve(p *Problem) (*Solution, error) {
+func (pd *PrimalDual) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := checkCtx(ctx, pd.Name(), nil); err != nil {
+		return nil, err
+	}
 	if err := requireKeyPreserving(p, pd.Name()); err != nil {
 		return nil, err
 	}
@@ -119,7 +123,12 @@ func (pd *PrimalDual) Solve(p *Problem) (*Solution, error) {
 	load := make(map[string]float64, len(cands))
 	saturated := make(map[string]bool)
 	var pickOrder []string
-	for _, r := range reqs {
+	for ri, r := range reqs {
+		if ri%checkEvery == 0 {
+			if err := checkCtx(ctx, pd.Name(), nil); err != nil {
+				return nil, err
+			}
+		}
 		if len(r.path) == 0 {
 			// No deletable tuple can kill this request; infeasible under
 			// the restriction.

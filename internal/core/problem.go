@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -281,7 +282,10 @@ type Solver interface {
 	// Solve computes a source deletion for the problem. Implementations
 	// document whether the result is exact or approximate and any
 	// preconditions (key-preserving, forest structure, size bounds).
-	Solve(p *Problem) (*Solution, error)
+	// Solvers poll ctx cooperatively and stop with an *Interrupted error
+	// (see cancel.go) when it is done; the error carries the best
+	// feasible solution found so far when the algorithm maintains one.
+	Solve(ctx context.Context, p *Problem) (*Solution, error)
 }
 
 // requireKeyPreserving is shared by solvers whose correctness rests on the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/relation"
@@ -77,14 +78,21 @@ type RedBlue struct {
 // Name implements Solver.
 func (r *RedBlue) Name() string { return "red-blue" }
 
-// Solve implements Solver.
-func (r *RedBlue) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. The reduction and sweep are polynomial, so a
+// single checkpoint before each phase suffices.
+func (r *RedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := checkCtx(ctx, r.Name(), nil); err != nil {
+		return nil, err
+	}
 	enc, err := buildRedBlue(p)
 	if err != nil {
 		return nil, err
 	}
 	if enc.inst.NumBlue == 0 {
 		return &Solution{}, nil
+	}
+	if err := checkCtx(ctx, r.Name(), nil); err != nil {
+		return nil, err
 	}
 	sol, err := enc.inst.LowDegSweep(r.Mode)
 	if err != nil {
@@ -104,8 +112,13 @@ type RedBlueExact struct {
 // Name implements Solver.
 func (r *RedBlueExact) Name() string { return "red-blue-exact" }
 
-// Solve implements Solver.
-func (r *RedBlueExact) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. The branch and bound is anytime: on context
+// interruption the *Interrupted error carries the best cover found so far,
+// decoded back to a source deletion.
+func (r *RedBlueExact) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := checkCtx(ctx, r.Name(), nil); err != nil {
+		return nil, err
+	}
 	enc, err := buildRedBlue(p)
 	if err != nil {
 		return nil, err
@@ -113,8 +126,15 @@ func (r *RedBlueExact) Solve(p *Problem) (*Solution, error) {
 	if enc.inst.NumBlue == 0 {
 		return &Solution{}, nil
 	}
-	sol, err := enc.inst.Exact(r.MaxSets)
+	sol, err := enc.inst.ExactCtx(ctx, r.MaxSets)
 	if err != nil {
+		if isCtxErr(err) {
+			var incumbent *Solution
+			if len(sol.Chosen) > 0 {
+				incumbent = enc.decode(sol)
+			}
+			return nil, interruption(ctx, r.Name(), incumbent)
+		}
 		return nil, fmt.Errorf("core: red-blue exact: %w", err)
 	}
 	return enc.decode(sol), nil
@@ -142,8 +162,12 @@ func (b *BalancedRedBlue) Name() string {
 	return "balanced-red-blue"
 }
 
-// Solve implements Solver.
-func (b *BalancedRedBlue) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. The exact variant is anytime like
+// RedBlueExact; the approximation is polynomial.
+func (b *BalancedRedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := checkCtx(ctx, b.Name(), nil); err != nil {
+		return nil, err
+	}
 	if err := requireKeyPreserving(p, b.Name()); err != nil {
 		return nil, err
 	}
@@ -179,21 +203,31 @@ func (b *BalancedRedBlue) Solve(p *Problem) (*Solution, error) {
 	if err := pn.Validate(); err != nil {
 		return nil, fmt.Errorf("core: balanced encoding invalid: %w", err)
 	}
+	decode := func(sol setcover.Solution) *Solution {
+		out := &Solution{}
+		for _, si := range sol.Chosen {
+			out.Deleted = append(out.Deleted, tuples[si])
+		}
+		return out
+	}
 	var sol setcover.Solution
 	var err error
 	if b.Exact {
-		sol, err = pn.Exact(b.MaxSets)
+		sol, err = pn.ExactCtx(ctx, b.MaxSets)
 	} else {
 		sol, err = pn.Solve(b.Mode)
 	}
 	if err != nil {
+		if isCtxErr(err) {
+			var incumbent *Solution
+			if len(sol.Chosen) > 0 {
+				incumbent = decode(sol)
+			}
+			return nil, interruption(ctx, b.Name(), incumbent)
+		}
 		return nil, fmt.Errorf("core: balanced solve: %w", err)
 	}
-	out := &Solution{}
-	for _, si := range sol.Chosen {
-		out.Deleted = append(out.Deleted, tuples[si])
-	}
-	return out, nil
+	return decode(sol), nil
 }
 
 // BuildRedBlueEncoding exposes the Claim 1 encoding for the reduction

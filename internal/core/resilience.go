@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/cq"
@@ -22,12 +23,13 @@ import (
 // source deletion emptying Q(D), together with a witness deletion. It uses
 // the polynomial bipartite algorithm when the query has exactly two
 // self-join-free atoms, and SourceExact otherwise (exponential worst
-// case; bounded by maxCandidates, 0 = default).
-func Resilience(q *cq.Query, db *relation.Instance, maxCandidates int) (int, *Solution, error) {
+// case; bounded by maxCandidates, 0 = default). The exact hitting-set
+// search polls ctx and stops with an *Interrupted error when it is done.
+func Resilience(ctx context.Context, q *cq.Query, db *relation.Instance, maxCandidates int) (int, *Solution, error) {
 	if len(q.Body) == 2 && q.IsSelfJoinFree() {
 		return resilienceBipartite(q, db)
 	}
-	return resilienceExact(q, db, maxCandidates)
+	return resilienceExact(ctx, q, db, maxCandidates)
 }
 
 // resilienceBipartite solves the two-atom sj-free case via minimum vertex
@@ -80,7 +82,7 @@ func resilienceBipartite(q *cq.Query, db *relation.Instance) (int, *Solution, er
 
 // resilienceExact expresses resilience as the source side-effect problem
 // with ΔV = Q(D) and solves it exactly.
-func resilienceExact(q *cq.Query, db *relation.Instance, maxCandidates int) (int, *Solution, error) {
+func resilienceExact(ctx context.Context, q *cq.Query, db *relation.Instance, maxCandidates int) (int, *Solution, error) {
 	p, err := NewProblem(db, []*cq.Query{q}, nil)
 	if err != nil {
 		return 0, nil, err
@@ -91,7 +93,7 @@ func resilienceExact(q *cq.Query, db *relation.Instance, maxCandidates int) (int
 	if p.Delta.Len() == 0 {
 		return 0, &Solution{}, nil
 	}
-	sol, err := (&SourceExact{MaxCandidates: maxCandidates}).Solve(p)
+	sol, err := (&SourceExact{MaxCandidates: maxCandidates}).Solve(ctx, p)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestResilienceFig1(t *testing.T) {
 	// deleting T1's four rows costs 4; mixed covers exist. The bipartite
 	// optimum must empty the view.
 	q := w.Queries[0]
-	n, sol, err := Resilience(q, w.DB, 0)
+	n, sol, err := Resilience(context.Background(), q, w.DB, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestResilienceFig1(t *testing.T) {
 		t.Errorf("n = %d but witness has %d deletions", n, len(sol.Deleted))
 	}
 	// Cross-check against the exact hitting-set solver.
-	nExact, _, err := resilienceExact(q, w.DB, 0)
+	nExact, _, err := resilienceExact(context.Background(), q, w.DB, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestResilienceBipartiteMatchesExactRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nE, _, err := resilienceExact(q, db, 0)
+		nE, _, err := resilienceExact(context.Background(), q, db, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +92,11 @@ func TestResilienceProjection(t *testing.T) {
 	db.MustInsert("S", "x", "9")
 	full := cq.MustParse("Q(a, b, c) :- R(a, b), S(b, c)")
 	proj := cq.MustParse("Q(a) :- R(a, b), S(b, c)")
-	nFull, _, err := Resilience(full, db, 0)
+	nFull, _, err := Resilience(context.Background(), full, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nProj, _, err := Resilience(proj, db, 0)
+	nProj, _, err := Resilience(context.Background(), proj, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestResilienceEmptyResult(t *testing.T) {
 	)
 	db.MustInsert("R", "1", "x")
 	q := cq.MustParse("Q(a, b, c) :- R(a, b), S(b, c)")
-	n, sol, err := Resilience(q, db, 0)
+	n, sol, err := Resilience(context.Background(), q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestResilienceEmptyResult(t *testing.T) {
 func TestResilienceThreeAtomFallback(t *testing.T) {
 	w := workload.Pivot(workload.PivotConfig{Seed: 2, Roots: 2, ChildrenPerRoot: 2, GrandPerChild: 1})
 	q := w.Queries[1] // QG over Root, Child, Grand
-	n, sol, err := Resilience(q, w.DB, 0)
+	n, sol, err := Resilience(context.Background(), q, w.DB, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestResilienceSelfJoinUsesExact(t *testing.T) {
 	db.MustInsert("E", "a", "b")
 	db.MustInsert("E", "b", "c")
 	q := cq.MustParse("Q(x, y, z) :- E(x, y), E(y, z)")
-	n, sol, err := Resilience(q, db, 0)
+	n, sol, err := Resilience(context.Background(), q, db, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

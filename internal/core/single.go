@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/relation"
@@ -20,7 +21,7 @@ func (s *SingleTupleExact) Name() string { return "single-tuple-exact" }
 
 // Solve implements Solver. It requires |ΔV| = 1 and a key-preserving
 // problem.
-func (s *SingleTupleExact) Solve(p *Problem) (*Solution, error) {
+func (s *SingleTupleExact) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if p.Delta.Len() != 1 {
 		return nil, fmt.Errorf("core: single-tuple-exact requires exactly one requested deletion, got %d", p.Delta.Len())
 	}
@@ -35,6 +36,9 @@ func (s *SingleTupleExact) Solve(p *Problem) (*Solution, error) {
 	var best *Solution
 	bestCost := 0.0
 	for _, id := range ans.Derivations[0].TupleSet() {
+		if err := checkCtx(ctx, s.Name(), best); err != nil {
+			return nil, err
+		}
 		sol := &Solution{Deleted: []relation.TupleID{id}}
 		rep := p.Evaluate(sol)
 		if !rep.Feasible {

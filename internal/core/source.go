@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -53,8 +54,10 @@ type SourceExact struct {
 // Name implements Solver.
 func (s *SourceExact) Name() string { return "source-exact" }
 
-// Solve implements Solver.
-func (s *SourceExact) Solve(p *Problem) (*Solution, error) {
+// Solve implements Solver. The branch and bound is anytime: on context
+// interruption the *Interrupted carries the cheapest hitting set found so
+// far, when one exists.
+func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	max := s.MaxCandidates
 	if max == 0 {
 		max = 26
@@ -90,9 +93,33 @@ func (s *SourceExact) Solve(p *Problem) (*Solution, error) {
 	bestCost := math.Inf(1)
 	var best []int
 
+	toSolution := func(idxs []int) *Solution {
+		sol := &Solution{}
+		for _, ci := range idxs {
+			sol.Deleted = append(sol.Deleted, cands[ci])
+		}
+		return sol
+	}
+
 	// coverers[path] precomputed; branch on the least-covered path.
+	visited := 0
+	var interrupted error
 	var rec func()
 	rec = func() {
+		if interrupted != nil {
+			return
+		}
+		visited++
+		if visited%checkEvery == 0 {
+			var incumbent *Solution
+			if best != nil {
+				incumbent = toSolution(best)
+			}
+			if err := checkCtx(ctx, s.Name(), incumbent); err != nil {
+				interrupted = err
+				return
+			}
+		}
 		if curCost >= bestCost {
 			return
 		}
@@ -150,16 +177,15 @@ func (s *SourceExact) Solve(p *Problem) (*Solution, error) {
 		}
 	}
 	rec()
+	if interrupted != nil {
+		return nil, interrupted
+	}
 	if math.IsInf(bestCost, 1) {
 		// Only possible with an empty candidate path (cannot happen for
 		// validated deletions) — defensive.
 		return nil, fmt.Errorf("core: source-exact found no hitting set")
 	}
-	sol := &Solution{}
-	for _, ci := range best {
-		sol.Deleted = append(sol.Deleted, cands[ci])
-	}
-	return sol, nil
+	return toSolution(best), nil
 }
 
 // SourceGreedy is the classic ln(n)-approximation for the hitting set:
@@ -173,7 +199,7 @@ type SourceGreedy struct {
 func (s *SourceGreedy) Name() string { return "source-greedy" }
 
 // Solve implements Solver.
-func (s *SourceGreedy) Solve(p *Problem) (*Solution, error) {
+func (s *SourceGreedy) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	cands := p.CandidateTuples()
 	type path struct {
 		tuples map[string]bool
@@ -196,6 +222,9 @@ func (s *SourceGreedy) Solve(p *Problem) (*Solution, error) {
 	remaining := len(paths)
 	sol := &Solution{}
 	for remaining > 0 {
+		if err := checkCtx(ctx, s.Name(), nil); err != nil {
+			return nil, err
+		}
 		best, bestScore := -1, -1.0
 		for i, id := range cands {
 			hits := 0
@@ -244,7 +273,7 @@ type SourceSingleQueryExact struct{}
 func (s *SourceSingleQueryExact) Name() string { return "source-single-query" }
 
 // Solve implements Solver.
-func (s *SourceSingleQueryExact) Solve(p *Problem) (*Solution, error) {
+func (s *SourceSingleQueryExact) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if len(p.Queries) != 1 {
 		return nil, fmt.Errorf("core: source-single-query requires one query, got %d", len(p.Queries))
 	}
@@ -262,5 +291,5 @@ func (s *SourceSingleQueryExact) Solve(p *Problem) (*Solution, error) {
 			return &Solution{Deleted: []relation.TupleID{id}}, nil
 		}
 	}
-	return (&SourceExact{}).Solve(p)
+	return (&SourceExact{}).Solve(ctx, p)
 }

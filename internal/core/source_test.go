@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -15,7 +16,7 @@ func TestSourceExactFig1Q3(t *testing.T) {
 	// 2 deletions... unless one tuple lies on both paths — here the paths
 	// are {T1(John,TKDE),T2(TKDE,XML,30)} and {T1(John,TODS),
 	// T2(TODS,XML,30)}, disjoint, so the optimum is 2.
-	sol, err := (&SourceExact{}).Solve(p)
+	sol, err := (&SourceExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestSourceExactFig1Q3(t *testing.T) {
 
 func TestSourceExactFig1Q4(t *testing.T) {
 	p := fig1Q4Problem(t)
-	sol, err := (&SourceExact{}).Solve(p)
+	sol, err := (&SourceExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSourceExactSharedTuple(t *testing.T) {
 	// Two requested view tuples sharing a source tuple: optimum 1.
 	p := fig1Q4Problem(t)
 	p.Delta.Add(view.TupleRef{View: 0, Tuple: tup("John", "TKDE", "CUBE")})
-	sol, err := (&SourceExact{}).Solve(p)
+	sol, err := (&SourceExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSourceExactWeighted(t *testing.T) {
 	w := SourceWeights{
 		(relation.TupleID{Relation: "T1", Tuple: tup("John", "TKDE")}).Key(): 10,
 	}
-	sol, err := (&SourceExact{Weights: w}).Solve(p)
+	sol, err := (&SourceExact{Weights: w}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSourceExactWeighted(t *testing.T) {
 
 func TestSourceExactTooLarge(t *testing.T) {
 	p := fig1Q3Problem(t)
-	if _, err := (&SourceExact{MaxCandidates: 1}).Solve(p); !errors.Is(err, ErrTooLarge) {
+	if _, err := (&SourceExact{MaxCandidates: 1}).Solve(context.Background(), p); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
 	}
 }
@@ -92,7 +93,7 @@ func TestSourceGreedyFeasibleAndBounded(t *testing.T) {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			g, err := (&SourceGreedy{}).Solve(p)
+			g, err := (&SourceGreedy{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s/%d: %v", name, seed, err)
 			}
@@ -100,7 +101,7 @@ func TestSourceGreedyFeasibleAndBounded(t *testing.T) {
 			if !feasible {
 				t.Fatalf("%s/%d: greedy infeasible", name, seed)
 			}
-			e, err := (&SourceExact{}).Solve(p)
+			e, err := (&SourceExact{}).Solve(context.Background(), p)
 			if err != nil {
 				if errors.Is(err, ErrTooLarge) {
 					continue
@@ -127,7 +128,7 @@ func TestSourceGreedyFeasibleAndBounded(t *testing.T) {
 
 func TestSourceSingleQueryExact(t *testing.T) {
 	p := fig1Q4Problem(t)
-	sol, err := (&SourceSingleQueryExact{}).Solve(p)
+	sol, err := (&SourceSingleQueryExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestSourceSingleQueryExact(t *testing.T) {
 	}
 	// Multi-deletion path still exact.
 	p.Delta.Add(view.TupleRef{View: 0, Tuple: tup("Joe", "TKDE", "XML")})
-	sol, err = (&SourceSingleQueryExact{}).Solve(p)
+	sol, err = (&SourceSingleQueryExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestSourceSingleQueryExact(t *testing.T) {
 	}
 	// Preconditions.
 	w := fig1Q3Problem(t)
-	if _, err := (&SourceSingleQueryExact{}).Solve(w); !errors.Is(err, ErrNotKeyPreserving) {
+	if _, err := (&SourceSingleQueryExact{}).Solve(context.Background(), w); !errors.Is(err, ErrNotKeyPreserving) {
 		t.Errorf("err = %v, want ErrNotKeyPreserving", err)
 	}
 	multi := starProblem(t, 1, 2)
-	if _, err := (&SourceSingleQueryExact{}).Solve(multi); err == nil {
+	if _, err := (&SourceSingleQueryExact{}).Solve(context.Background(), multi); err == nil {
 		t.Error("multi-query accepted")
 	}
 }
@@ -161,11 +162,11 @@ func TestSourceSingleQueryExact(t *testing.T) {
 // source-optimal and view-optimal deletions can disagree.
 func TestSourceVsViewObjectivesDiffer(t *testing.T) {
 	p := fig1Q4Problem(t)
-	src, err := (&SourceExact{}).Solve(p)
+	src, err := (&SourceExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vw, err := (&BruteForce{}).Solve(p)
+	vw, err := (&BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

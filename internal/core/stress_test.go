@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -68,7 +69,7 @@ func TestStressDifferential(t *testing.T) {
 		if p.Delta.Len() == 0 {
 			continue
 		}
-		bf, err := (&BruteForce{}).Solve(p)
+		bf, err := (&BruteForce{}).Solve(context.Background(), p)
 		if err != nil {
 			if errors.Is(err, ErrTooLarge) {
 				continue
@@ -80,7 +81,7 @@ func TestStressDifferential(t *testing.T) {
 			t.Fatalf("%s: brute infeasible", in.family)
 		}
 		// (1) exact agreement.
-		rbe, err := (&RedBlueExact{}).Solve(p)
+		rbe, err := (&RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: red-blue-exact: %v", in.family, err)
 		}
@@ -90,7 +91,7 @@ func TestStressDifferential(t *testing.T) {
 		// (2) approximations.
 		solutions := []*Solution{bf, rbe}
 		for _, s := range ApproxSolvers() {
-			sol, err := s.Solve(p)
+			sol, err := s.Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: %s: %v", in.family, s.Name(), err)
 			}
@@ -112,7 +113,7 @@ func TestStressDifferential(t *testing.T) {
 			t.Errorf("%s: dual bound %v exceeds optimum %v", in.family, lb, opt.SideEffect)
 		}
 		// (4) balanced ≤ standard.
-		bb, err := (&BruteForce{Balanced: true}).Solve(p)
+		bb, err := (&BruteForce{Balanced: true}).Solve(context.Background(), p)
 		if err == nil {
 			if bal := p.Evaluate(bb).Balanced; bal > opt.SideEffect+1e-9 {
 				t.Errorf("%s: balanced optimum %v exceeds standard %v", in.family, bal, opt.SideEffect)
@@ -120,7 +121,7 @@ func TestStressDifferential(t *testing.T) {
 		}
 		// (5) DP exactness when applicable.
 		if IsPivotForest(p) {
-			dp, err := (&DPTree{}).Solve(p)
+			dp, err := (&DPTree{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: dp: %v", in.family, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"delprop/internal/classify"
@@ -29,33 +30,49 @@ func (u *Unidimensional) Name() string { return "unidimensional" }
 // this algorithm's guarantee evaporates).
 var ErrNotHeadDominated = fmt.Errorf("core: query is not head-dominated")
 
-// Solve implements Solver.
-func (u *Unidimensional) Solve(p *Problem) (*Solution, error) {
+// Applicable checks the algorithm's preconditions without doing any solve
+// work: one self-join-free head-dominated query and a single-tuple
+// request. Callers (notably the "auto" solver picker) use it to route
+// instances instead of solving once to probe feasibility and again for the
+// answer.
+func (u *Unidimensional) Applicable(p *Problem) error {
 	if len(p.Queries) != 1 {
-		return nil, fmt.Errorf("core: unidimensional requires one query, got %d", len(p.Queries))
+		return fmt.Errorf("core: unidimensional requires one query, got %d", len(p.Queries))
 	}
 	if p.Delta.Len() != 1 {
-		return nil, fmt.Errorf("core: unidimensional requires one requested deletion, got %d", p.Delta.Len())
+		return fmt.Errorf("core: unidimensional requires one requested deletion, got %d", p.Delta.Len())
 	}
 	q := p.Queries[0]
 	if !q.IsSelfJoinFree() {
-		return nil, fmt.Errorf("core: unidimensional requires a self-join-free query")
+		return fmt.Errorf("core: unidimensional requires a self-join-free query")
 	}
 	props, err := classify.Analyze(q, cq.InstanceSchemas(p.DB), nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !props.HeadDomination {
-		return nil, ErrNotHeadDominated
+		return ErrNotHeadDominated
 	}
+	if _, ok := p.Answer(p.Delta.Refs()[0]); !ok {
+		return fmt.Errorf("core: %s is not a view tuple", p.Delta.Refs()[0])
+	}
+	return nil
+}
+
+// Solve implements Solver.
+func (u *Unidimensional) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := u.Applicable(p); err != nil {
+		return nil, err
+	}
+	q := p.Queries[0]
 	ref := p.Delta.Refs()[0]
-	ans, ok := p.Answer(ref)
-	if !ok {
-		return nil, fmt.Errorf("core: %s is not a view tuple", ref)
-	}
+	ans, _ := p.Answer(ref)
 	var best *Solution
 	bestCost := 0.0
 	for ai := range q.Body {
+		if err := checkCtx(ctx, u.Name(), best); err != nil {
+			return nil, err
+		}
 		// The unidimensional candidate for atom ai: every fact this atom
 		// matches in a derivation of the requested answer.
 		seen := make(map[string]relation.TupleID)

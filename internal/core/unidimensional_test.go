@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -54,7 +55,7 @@ func TestUnidimensionalMatchesBruteForce(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			uni, err := (&Unidimensional{}).Solve(p)
+			uni, err := (&Unidimensional{}).Solve(context.Background(), p)
 			if err != nil {
 				t.Fatalf("seed %d tuple %v: %v", seed, ansTuple, err)
 			}
@@ -62,7 +63,7 @@ func TestUnidimensionalMatchesBruteForce(t *testing.T) {
 			if !uniRep.Feasible {
 				t.Fatalf("seed %d tuple %v: infeasible", seed, ansTuple)
 			}
-			bf, err := (&BruteForce{}).Solve(p)
+			bf, err := (&BruteForce{}).Solve(context.Background(), p)
 			if err != nil {
 				if errors.Is(err, ErrTooLarge) {
 					continue
@@ -94,7 +95,7 @@ func TestUnidimensionalPreconditions(t *testing.T) {
 		t.Skip("no answers on this seed")
 	}
 	p.Delta.Add(view.TupleRef{View: 0, Tuple: p.Views[0].Result.Tuples()[0]})
-	if _, err := (&Unidimensional{}).Solve(p); !errors.Is(err, ErrNotHeadDominated) {
+	if _, err := (&Unidimensional{}).Solve(context.Background(), p); !errors.Is(err, ErrNotHeadDominated) {
 		t.Errorf("err = %v, want ErrNotHeadDominated", err)
 	}
 	// Multi-tuple deletion rejected.
@@ -107,7 +108,7 @@ func TestUnidimensionalPreconditions(t *testing.T) {
 		p2.Delta.Add(view.TupleRef{View: 0, Tuple: tp})
 	}
 	if p2.Delta.Len() > 1 {
-		if _, err := (&Unidimensional{}).Solve(p2); err == nil {
+		if _, err := (&Unidimensional{}).Solve(context.Background(), p2); err == nil {
 			t.Error("multi-tuple deletion accepted")
 		}
 	}
@@ -117,7 +118,7 @@ func TestUnidimensionalPreconditions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (&Unidimensional{}).Solve(p3); err == nil {
+	if _, err := (&Unidimensional{}).Solve(context.Background(), p3); err == nil {
 		t.Error("multi-query accepted")
 	}
 	// Self-join rejected.
@@ -128,7 +129,7 @@ func TestUnidimensionalPreconditions(t *testing.T) {
 	}
 	if p4.Views[0].Result.NumAnswers() > 0 {
 		p4.Delta.Add(view.TupleRef{View: 0, Tuple: p4.Views[0].Result.Tuples()[0]})
-		if _, err := (&Unidimensional{}).Solve(p4); err == nil {
+		if _, err := (&Unidimensional{}).Solve(context.Background(), p4); err == nil {
 			t.Error("self-join accepted")
 		}
 	}
@@ -138,11 +139,11 @@ func TestUnidimensionalPreconditions(t *testing.T) {
 // requests degenerate to SingleTupleExact's answer.
 func TestUnidimensionalOnKeyPreserving(t *testing.T) {
 	p := fig1Q4Problem(t)
-	uni, err := (&Unidimensional{}).Solve(p)
+	uni, err := (&Unidimensional{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ste, err := (&SingleTupleExact{}).Solve(p)
+	ste, err := (&SingleTupleExact{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

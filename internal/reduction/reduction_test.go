@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ func TestFig2Construction(t *testing.T) {
 	// Fig 2 semantics: every solution must delete all three tuples
 	// (each blue is in exactly one set), covering r1 -> optimal side
 	// effect 1.
-	sol, err := (&core.BruteForce{}).Solve(p)
+	sol, err := (&core.BruteForce{}).Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestTheorem1CostPreservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vseOpt, err := (&core.RedBlueExact{}).Solve(p)
+		vseOpt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestTheorem1WeightedCostPreservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vseOpt, err := (&core.RedBlueExact{}).Solve(v.Problem)
+	vseOpt, err := (&core.RedBlueExact{}).Solve(context.Background(), v.Problem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestTheorem2CostPreservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		balOpt, err := (&core.BalancedRedBlue{Exact: true}).Solve(p)
+		balOpt, err := (&core.BalancedRedBlue{Exact: true}).Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package repair
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -186,7 +187,7 @@ func (s *Session) Round(round, k int) (RoundReport, bool, error) {
 		for _, ref := range marked {
 			p.Delta.Add(ref)
 		}
-		sol, err := s.solver().Solve(p)
+		sol, err := s.solver().Solve(context.Background(), p)
 		if err != nil {
 			return rep, false, fmt.Errorf("repair: round %d: %w", round, err)
 		}
@@ -201,7 +202,7 @@ func (s *Session) Round(round, k int) (RoundReport, bool, error) {
 				continue // already gone from an earlier deletion
 			}
 			sub.Delta.Add(ref)
-			sol, err := s.solver().Solve(sub)
+			sol, err := s.solver().Solve(context.Background(), sub)
 			if err != nil {
 				return rep, false, fmt.Errorf("repair: round %d: %w", round, err)
 			}

@@ -1,0 +1,455 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"delprop/internal/core"
+)
+
+// Fault-injection suite: proves each solver failure mode — panic, deadline
+// expiry, ignoring the context, client disconnect — is contained by the
+// serving layer, and that the load shedder and body limiter reject abusive
+// requests without disturbing healthy ones.
+
+// gateSolver blocks until its context is done, signalling entry so tests
+// can sequence concurrent requests deterministically.
+type gateSolver struct {
+	mu      sync.Mutex
+	entered chan struct{}
+}
+
+func (g *gateSolver) Name() string { return "test-gate" }
+
+func (g *gateSolver) Solve(ctx context.Context, p *core.Problem) (*core.Solution, error) {
+	g.mu.Lock()
+	if g.entered != nil {
+		close(g.entered)
+		g.entered = nil
+	}
+	g.mu.Unlock()
+	<-ctx.Done()
+	return nil, fmt.Errorf("gate: %w", ctx.Err())
+}
+
+var registerFaultsOnce sync.Once
+
+// registerFaultSolvers mounts the fault-injection solvers under test-only
+// names. Registration is global but additive, so it cannot disturb the
+// production names.
+func registerFaultSolvers() {
+	registerFaultsOnce.Do(func() {
+		core.RegisterSolver("test-faulty-block", func() core.Solver { return &core.Faulty{Mode: core.FaultBlock} })
+		core.RegisterSolver("test-faulty-panic", func() core.Solver { return &core.Faulty{Mode: core.FaultPanic} })
+		core.RegisterSolver("test-faulty-ignore", func() core.Solver {
+			return &core.Faulty{Mode: core.FaultIgnoreCtx, Stall: 3 * time.Second}
+		})
+	})
+}
+
+func solveReq(timeout, solver string) InstanceRequest {
+	return InstanceRequest{
+		Database:  fig1DB,
+		Queries:   "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+		Deletions: "Q4(John, TKDE, XML)",
+		Solver:    solver,
+		Timeout:   timeout,
+	}
+}
+
+func decodeErr(t *testing.T, body []byte) errorResponse {
+	t.Helper()
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, body)
+	}
+	return e
+}
+
+// TestPanicContained: a panicking solver yields a 500 JSON error naming the
+// request id, and the server keeps serving afterwards.
+func TestPanicContained(t *testing.T) {
+	registerFaultSolvers()
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+
+	resp, body := post(t, srv, "/solve", solveReq("", "test-faulty-panic"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	e := decodeErr(t, body)
+	if e.Code != codeInternal {
+		t.Errorf("code = %q, want %q", e.Code, codeInternal)
+	}
+	if e.RequestID == "" {
+		t.Error("500 response lacks a request id")
+	}
+	if strings.Contains(e.Error, "injected") {
+		t.Errorf("panic message leaked to the client: %q", e.Error)
+	}
+
+	// The server must still answer normal work.
+	resp, body = post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic solve status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestHandlerPanicContained: a panic in the handler itself (outside the
+// supervised solve goroutine) is recovered by the instrument middleware
+// into a 500 JSON error.
+func TestHandlerPanicContained(t *testing.T) {
+	a := &api{cfg: Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}.withDefaults()}
+	h := a.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("injected handler panic")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/solve", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	e := decodeErr(t, rec.Body.Bytes())
+	if e.Code != codeInternal {
+		t.Errorf("code = %q, want %q", e.Code, codeInternal)
+	}
+	if e.RequestID == "" {
+		t.Error("500 response lacks a request id")
+	}
+	if strings.Contains(e.Error, "injected") {
+		t.Errorf("panic message leaked to the client: %q", e.Error)
+	}
+}
+
+// TestDeadlineCooperative: a solver that honors its context produces a 504
+// deadline_exceeded (no incumbent to report) well within 2x the deadline.
+func TestDeadlineCooperative(t *testing.T) {
+	registerFaultSolvers()
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, body := post(t, srv, "/solve", solveReq("100ms", "test-faulty-block"))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != codeDeadlineExceeded {
+		t.Errorf("code = %q, want %q", e.Code, codeDeadlineExceeded)
+	}
+	if elapsed > time.Second {
+		t.Errorf("response took %v for a 100ms deadline", elapsed)
+	}
+}
+
+// TestUnstoppableSolverAbandoned: a solver that ignores its context is
+// abandoned after the grace period; the client sees a 504 within ~2x the
+// deadline even though the solver goroutine is still spinning.
+func TestUnstoppableSolverAbandoned(t *testing.T) {
+	registerFaultSolvers()
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, body := post(t, srv, "/solve", solveReq("100ms", "test-faulty-ignore"))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != codeSolverUnstoppable {
+		t.Errorf("code = %q, want %q", e.Code, codeSolverUnstoppable)
+	}
+	// deadline 100ms + grace min(deadline/2, 1s) = 150ms; allow slack.
+	if elapsed > time.Second {
+		t.Errorf("response took %v; want ~150ms", elapsed)
+	}
+	// The abandoned goroutine must not block new work.
+	resp, body = post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-abandon solve status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestBruteForceAtBoundTimesOut is the acceptance scenario: a brute-force
+// solve at its candidate bound with a 100ms budget answers within ~2x the
+// deadline — either a 504-class JSON error or a partial incumbent.
+func TestBruteForceAtBoundTimesOut(t *testing.T) {
+	// 22 source tuples all deriving one view tuple: 2^22 subsets to scan,
+	// far beyond a 100ms budget.
+	var db strings.Builder
+	db.WriteString("relation T(A*, B)\n")
+	for i := 0; i < 22; i++ {
+		fmt.Fprintf(&db, "T(a%d, v)\n", i)
+	}
+	req := InstanceRequest{
+		Database:  db.String(),
+		Queries:   "Q(y) :- T(x, y)",
+		Deletions: "Q(v)",
+		Solver:    "brute-force",
+		Timeout:   "100ms",
+	}
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, body := post(t, srv, "/solve", req)
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("response took %v for a 100ms deadline", elapsed)
+	}
+	switch resp.StatusCode {
+	case http.StatusGatewayTimeout:
+		if e := decodeErr(t, body); e.Code != codeDeadlineExceeded {
+			t.Errorf("code = %q, want %q", e.Code, codeDeadlineExceeded)
+		}
+	case http.StatusOK:
+		var out SolveResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Partial || out.Interrupted != "deadline" {
+			t.Errorf("200 for an interrupted solve must be partial: %+v", out)
+		}
+	default:
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPerSolverTimeout: every registered production solver answers a
+// 1ms-budget request promptly with well-formed JSON — 200 (finished or
+// partial), 504 (deadline), or 422 (precondition) are all acceptable;
+// hanging or malformed output is not.
+func TestPerSolverTimeout(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+	for _, name := range core.SolverNames() {
+		if strings.HasPrefix(name, "test-") || strings.HasPrefix(name, "cancel-test-") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			resp, body := post(t, srv, "/solve", solveReq("1ms", name))
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("solver %s took %v under a 1ms deadline", name, elapsed)
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var out SolveResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Fatalf("200 body not a SolveResponse: %v", err)
+				}
+			case http.StatusGatewayTimeout, http.StatusUnprocessableEntity:
+				e := decodeErr(t, body)
+				if e.Code == "" {
+					t.Errorf("error response lacks a code: %s", body)
+				}
+			default:
+				t.Fatalf("status = %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// TestLoadShedding: with MaxConcurrent=1, a second concurrent compute
+// request is shed with 429 + Retry-After while the first still completes,
+// and /healthz stays reachable throughout.
+func TestLoadShedding(t *testing.T) {
+	gate := &gateSolver{entered: make(chan struct{})}
+	entered := gate.entered
+	core.RegisterSolver("test-gate", func() core.Solver { return gate })
+	srv := httptest.NewServer(NewHandler(Config{MaxConcurrent: 1}))
+	defer srv.Close()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, srv, "/solve", solveReq("500ms", "test-gate"))
+		firstDone <- resp.StatusCode
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the solver")
+	}
+
+	// Second compute request: shed.
+	resp, body := post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After")
+	}
+	if e := decodeErr(t, body); e.Code != codeOverloaded {
+		t.Errorf("code = %q, want %q", e.Code, codeOverloaded)
+	}
+
+	// Liveness probe bypasses the shedder.
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz under load = %d", hr.StatusCode)
+	}
+
+	if status := <-firstDone; status != http.StatusGatewayTimeout {
+		t.Errorf("first request status = %d, want 504 after its deadline", status)
+	}
+	// Capacity is released: a fresh solve succeeds.
+	resp, body = post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed solve status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestOversizedBody: bodies beyond MaxBodyBytes are rejected with 413 and
+// the body_too_large code.
+func TestOversizedBody(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{MaxBodyBytes: 512}))
+	defer srv.Close()
+	req := solveReq("", "")
+	req.Database = fig1DB + strings.Repeat("# padding padding padding\n", 100)
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d: %s", resp.StatusCode, buf.String())
+	}
+	if e := decodeErr(t, buf.Bytes()); e.Code != codeBodyTooLarge {
+		t.Errorf("code = %q, want %q", e.Code, codeBodyTooLarge)
+	}
+}
+
+// TestClientDisconnectCancelsSolve: when the client goes away mid-solve the
+// request context cancels the solver, the semaphore slot is released, and
+// the server keeps serving.
+func TestClientDisconnectCancelsSolve(t *testing.T) {
+	gate := &gateSolver{entered: make(chan struct{})}
+	entered := gate.entered
+	core.RegisterSolver("test-gate-disconnect", func() core.Solver { return gate })
+	srv := httptest.NewServer(NewHandler(Config{MaxConcurrent: 1}))
+	defer srv.Close()
+
+	raw, err := json.Marshal(solveReq("30s", "test-gate-disconnect"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(hreq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the solver")
+	}
+	cancel() // client disconnects
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client request did not return after cancel")
+	}
+
+	// The semaphore slot must be released promptly (MaxConcurrent=1, so a
+	// leak would turn this into a 429 or a hang).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := post(t, srv, "/solve", solveReq("", ""))
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never released: status = %d: %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTimeoutFieldValidation: malformed and non-positive timeouts are 400s;
+// oversized ones are clamped, not rejected.
+func TestTimeoutFieldValidation(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+	for _, bad := range []string{"banana", "-5s", "0s"} {
+		resp, body := post(t, srv, "/solve", solveReq(bad, ""))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("timeout %q: status = %d: %s", bad, resp.StatusCode, body)
+		}
+	}
+	// Above the cap: clamped to MaxSolveTimeout and accepted.
+	resp, body := post(t, srv, "/solve", solveReq("1000h", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("clamped timeout: status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestResilienceBudgetCap: the request budget is honored and capped.
+func TestResilienceBudgetCap(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{MaxResilienceBudget: 10}))
+	defer srv.Close()
+	req := InstanceRequest{
+		Database:         fig1DB,
+		Queries:          "Q3(x, z) :- T1(x, y), T2(y, z, w)",
+		ResilienceBudget: 1000,
+	}
+	resp, body := post(t, srv, "/resilience", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out ResilienceResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queries) != 1 || out.Queries[0].Resilience <= 0 {
+		t.Errorf("resilience = %+v", out)
+	}
+}
+
+// TestRequestIDsPropagate: successful solves carry the request id minted by
+// the middleware.
+func TestRequestIDsPropagate(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+	resp, body := post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID == "" {
+		t.Error("solve response lacks a request id")
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the hardening middleware around the handlers. The zero
+// value of any field falls back to the package default, so callers can set
+// only what they care about.
+type Config struct {
+	// DefaultSolveTimeout bounds a solve when the request names none.
+	DefaultSolveTimeout time.Duration
+	// MaxSolveTimeout caps the request's own timeout field: clients may
+	// ask for less time than the default, never more than this.
+	MaxSolveTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (http.MaxBytesReader).
+	MaxBodyBytes int64
+	// MaxConcurrent bounds simultaneously-running compute requests; the
+	// rest are shed with 429 + Retry-After.
+	MaxConcurrent int
+	// MaxResilienceBudget caps the per-request resilience candidate
+	// budget (the exact hitting-set search is exponential in it).
+	MaxResilienceBudget int
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Defaults applied by withDefaults.
+const (
+	DefaultSolveTimeout       = 30 * time.Second
+	DefaultMaxSolveTimeout    = 2 * time.Minute
+	DefaultMaxBodyBytes       = 4 << 20
+	DefaultMaxConcurrent      = 64
+	DefaultResilienceBudget   = 24
+	DefaultMaxResilienceLimit = 28
+)
+
+// DefaultConfig returns the production defaults documented in
+// docs/OPERATIONS.md.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.DefaultSolveTimeout <= 0 {
+		c.DefaultSolveTimeout = DefaultSolveTimeout
+	}
+	if c.MaxSolveTimeout <= 0 {
+		c.MaxSolveTimeout = DefaultMaxSolveTimeout
+	}
+	if c.MaxSolveTimeout < c.DefaultSolveTimeout {
+		c.DefaultSolveTimeout = c.MaxSolveTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.MaxResilienceBudget <= 0 {
+		c.MaxResilienceBudget = DefaultMaxResilienceLimit
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// api holds the mounted configuration and the shared concurrency
+// semaphore.
+type api struct {
+	cfg    Config
+	sem    chan struct{}
+	nextID atomic.Uint64
+}
+
+// requestIDKey carries the request id through the request context.
+type requestIDKey struct{}
+
+func contextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestID returns the id minted for this request ("" outside the
+// middleware chain).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the outermost middleware: mints a request id, recovers
+// panics into 500 JSON responses, and writes one structured log line per
+// request with latency and outcome.
+func (a *api) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "r" + strconv.FormatUint(a.nextID.Add(1), 10)
+		r = r.WithContext(contextWithRequestID(r.Context(), id))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				a.cfg.Logger.Error("panic serving request",
+					"requestId", id, "path", r.URL.Path,
+					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+				// Best effort: if the handler already wrote, this is a no-op
+				// on the status line but the connection is torn down anyway.
+				writeErr(rec, http.StatusInternalServerError, codeInternal,
+					fmt.Errorf("internal error (request %s)", id), id)
+			}
+			a.cfg.Logger.Info("request",
+				"requestId", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"durationMs", time.Since(start).Milliseconds())
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// limitBody bounds the request body; oversized bodies surface as
+// *http.MaxBytesError during decode and map to 413.
+func (a *api) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed is the load shedder: a semaphore bounds concurrently-running
+// compute requests, and requests that find it full are rejected
+// immediately with 429 + Retry-After rather than queued (queueing would
+// just convert overload into latency and memory growth).
+func (a *api) shed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.sem <- struct{}{}:
+			defer func() { <-a.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, codeOverloaded,
+				fmt.Errorf("server at capacity (%d concurrent requests)", a.cfg.MaxConcurrent),
+				requestID(r))
+		}
+	})
+}
+
+// compute wires the middleware that applies to CPU-bound POST endpoints.
+func (a *api) compute(h http.HandlerFunc) http.Handler {
+	return a.shed(a.limitBody(h))
+}

@@ -3,13 +3,24 @@
 // tuple lineage. The cmd/delpropd binary mounts it; tests drive it through
 // httptest. Inputs reuse the textio database format and datalog query
 // syntax, so files accepted by the CLI can be POSTed verbatim.
+//
+// The handler chain is hardened for untrusted traffic: every compute
+// request runs under a deadline (default + per-request "timeout" field,
+// capped server-side), bodies are size-limited, concurrency is bounded
+// with 429 load shedding, panics become 500 JSON responses carrying a
+// request id, and solves interrupted by their deadline degrade to the
+// solver's incumbent solution when one exists. See docs/OPERATIONS.md for
+// the operational contract.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"time"
 
 	"delprop/internal/classify"
 	"delprop/internal/core"
@@ -20,17 +31,25 @@ import (
 	"delprop/internal/view"
 )
 
-// New returns the HTTP handler with all routes mounted.
-func New() http.Handler {
+// New returns the HTTP handler with all routes mounted under the default
+// hardening configuration.
+func New() http.Handler { return NewHandler(Config{}) }
+
+// NewHandler mounts the routes under cfg (zero fields take defaults).
+func NewHandler(cfg Config) http.Handler {
+	a := &api{cfg: cfg.withDefaults()}
+	a.sem = make(chan struct{}, a.cfg.MaxConcurrent)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", handleSolve)
-	mux.HandleFunc("POST /classify", handleClassify)
-	mux.HandleFunc("POST /lineage", handleLineage)
-	mux.HandleFunc("POST /resilience", handleResilience)
+	mux.Handle("POST /solve", a.compute(a.handleSolve))
+	mux.Handle("POST /classify", a.compute(a.handleClassify))
+	mux.Handle("POST /lineage", a.compute(a.handleLineage))
+	mux.Handle("POST /resilience", a.compute(a.handleResilience))
+	// Liveness stays outside the shedder: a saturated server must still
+	// answer health probes.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return a.instrument(mux)
 }
 
 // InstanceRequest is the common instance payload: textio database, datalog
@@ -44,6 +63,12 @@ type InstanceRequest struct {
 	// Weights maps "Qname(v1,v2,...)" view tuples to preservation
 	// weights.
 	Weights map[string]float64 `json:"weights,omitempty"`
+	// Timeout is a Go duration ("500ms", "10s") bounding the solve; it is
+	// clamped to the server's maximum. Empty means the server default.
+	Timeout string `json:"timeout,omitempty"`
+	// ResilienceBudget bounds the exact hitting-set search of /resilience
+	// (capped server-side; 0 means the default).
+	ResilienceBudget int `json:"resilienceBudget,omitempty"`
 }
 
 // TupleJSON is one source tuple in responses.
@@ -62,10 +87,33 @@ type SolveResponse struct {
 	BadRemaining int         `json:"badRemaining"`
 	Balanced     float64     `json:"balanced"`
 	LowerBound   *float64    `json:"lowerBound,omitempty"`
+	// Partial marks a solution recovered from a solver interrupted by its
+	// deadline: the best incumbent found in time, not a completed run.
+	Partial bool `json:"partial,omitempty"`
+	// Interrupted names why a partial solve stopped ("deadline" or
+	// "canceled").
+	Interrupted string `json:"interrupted,omitempty"`
+	RequestID   string `json:"requestId,omitempty"`
 }
 
+// Machine-readable error codes (see docs/OPERATIONS.md for the taxonomy).
+const (
+	codeInvalidRequest    = "invalid_request"
+	codeUnknownSolver     = "unknown_solver"
+	codeSolverFailed      = "solver_failed"
+	codeBodyTooLarge      = "body_too_large"
+	codeOverloaded        = "overloaded"
+	codeDeadlineExceeded  = "deadline_exceeded"
+	codeCanceled          = "canceled"
+	codeInternal          = "internal"
+	codeNotFound          = "not_found"
+	codeSolverUnstoppable = "solver_unstoppable"
+)
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,8 +122,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error, reqID string) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code, RequestID: reqID})
+}
+
+// decodeJSON decodes a request body, translating the body-limit error to
+// 413 and malformed JSON to 400. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit), requestID(r))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err), requestID(r))
+		return false
+	}
+	return true
+}
+
+// solveDeadline resolves the request's timeout field against the
+// configured default and cap.
+func (a *api) solveDeadline(spec string) (time.Duration, error) {
+	if spec == "" {
+		return a.cfg.DefaultSolveTimeout, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return 0, fmt.Errorf("timeout: %w", err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout: must be positive, got %v", d)
+	}
+	if d > a.cfg.MaxSolveTimeout {
+		d = a.cfg.MaxSolveTimeout
+	}
+	return d, nil
 }
 
 // buildProblem parses the shared instance payload.
@@ -120,15 +203,74 @@ func buildProblem(req *InstanceRequest) (*core.Problem, []*cq.Query, error) {
 	return p, queries, nil
 }
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
+// solveOutcome is what the supervised solve goroutine reports back.
+type solveOutcome struct {
+	sol *core.Solution
+	err error
+}
+
+// errSolverPanic marks a panic recovered inside the solve goroutine.
+var errSolverPanic = errors.New("solver panicked")
+
+// runSolve executes solver.Solve under ctx in a supervised goroutine: a
+// panic becomes errSolverPanic, and a solver that ignores its context is
+// abandoned after a grace period (half the deadline, at most one second)
+// so the response always arrives within ~2x the requested deadline. The
+// abandoned goroutine is leaked deliberately — there is no safe way to
+// kill it — and the Faulty solver's stall bound keeps tests honest about
+// that.
+func (a *api) runSolve(ctx context.Context, reqID string, solver core.Solver, p *core.Problem, deadline time.Duration) (solveOutcome, bool) {
+	ch := make(chan solveOutcome, 1)
+	// Resolve the name before spawning: a Name() that panics must be caught
+	// by the handler middleware, not re-panic inside the recover below.
+	name := solver.Name()
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				a.cfg.Logger.Error("solver panic",
+					"requestId", reqID, "solver", name,
+					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+				ch <- solveOutcome{err: fmt.Errorf("%w: %v", errSolverPanic, v)}
+			}
+		}()
+		sol, err := solver.Solve(ctx, p)
+		ch <- solveOutcome{sol: sol, err: err}
+	}()
+	select {
+	case out := <-ch:
+		return out, true
+	case <-ctx.Done():
+		grace := deadline / 2
+		if grace > time.Second {
+			grace = time.Second
+		}
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		select {
+		case out := <-ch:
+			return out, true
+		case <-timer.C:
+			a.cfg.Logger.Warn("solver ignored its context; abandoning goroutine",
+				"requestId", reqID, "solver", name)
+			return solveOutcome{}, false
+		}
+	}
+}
+
+func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
 	var req InstanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	deadline, err := a.solveDeadline(req.Timeout)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	p, _, err := buildProblem(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	name := req.Solver
@@ -137,13 +279,50 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	solver, err := PickSolver(name, p)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeUnknownSolver, err, reqID)
 		return
 	}
-	sol, err := solver.Solve(p)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	out, stopped := a.runSolve(ctx, reqID, solver, p, deadline)
+	if !stopped {
+		writeErr(w, http.StatusGatewayTimeout, codeSolverUnstoppable,
+			fmt.Errorf("solver %s did not stop within the %v deadline", solver.Name(), deadline), reqID)
 		return
+	}
+	sol, partial, interrupted := out.sol, false, ""
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, errSolverPanic):
+			writeErr(w, http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("internal error (request %s)", reqID), reqID)
+			return
+		// Also match raw context errors: the core suite always wraps them in
+		// *Interrupted, but a registered third-party solver may not.
+		case errors.Is(out.err, core.ErrDeadline), errors.Is(out.err, core.ErrCanceled),
+			errors.Is(out.err, context.DeadlineExceeded), errors.Is(out.err, context.Canceled):
+			canceled := (errors.Is(out.err, core.ErrCanceled) || errors.Is(out.err, context.Canceled)) &&
+				!errors.Is(out.err, core.ErrDeadline) && !errors.Is(out.err, context.DeadlineExceeded)
+			inc, ok := core.Best(out.err)
+			if !ok {
+				status, code := http.StatusGatewayTimeout, codeDeadlineExceeded
+				if canceled {
+					// The client is gone; the response is written for the
+					// log's benefit only.
+					status, code = statusClientClosedRequest, codeCanceled
+				}
+				writeErr(w, status, code, out.err, reqID)
+				return
+			}
+			sol, partial = inc, true
+			interrupted = "deadline"
+			if canceled {
+				interrupted = "canceled"
+			}
+		default:
+			writeErr(w, http.StatusUnprocessableEntity, codeSolverFailed, out.err, reqID)
+			return
+		}
 	}
 	rep := p.Evaluate(sol)
 	resp := SolveResponse{
@@ -152,6 +331,9 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		SideEffect:   rep.SideEffect,
 		BadRemaining: rep.BadRemaining,
 		Balanced:     rep.Balanced,
+		Partial:      partial,
+		Interrupted:  interrupted,
+		RequestID:    reqID,
 	}
 	for _, id := range sol.Deleted {
 		resp.Deleted = append(resp.Deleted, toTupleJSON(id))
@@ -166,6 +348,11 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response. It never reaches a client (the
+// connection is gone) but keeps the request log truthful.
+const statusClientClosedRequest = 499
 
 func toTupleJSON(id relation.TupleID) TupleJSON {
 	vals := make([]string, len(id.Tuple))
@@ -204,20 +391,20 @@ type MultiClassification struct {
 	Guarantees       []string `json:"guarantees"`
 }
 
-func handleClassify(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleClassify(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
 	var req InstanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	queries, err := cq.ParseProgram(req.Queries)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	schemas := cq.InstanceSchemas(db)
@@ -225,12 +412,12 @@ func handleClassify(w http.ResponseWriter, r *http.Request) {
 	for _, q := range queries {
 		deps, err := classify.VariableFDs(q, schemas, nil)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 			return
 		}
 		props, err := classify.Analyze(q, schemas, deps)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 			return
 		}
 		resp.Queries = append(resp.Queries, QueryClassification{
@@ -248,7 +435,7 @@ func handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	multi, err := classify.MultiQuery(queries, schemas)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	resp.Multi = MultiClassification{
@@ -275,35 +462,40 @@ type LineageResponse struct {
 	Witnesses [][]TupleJSON `json:"witnesses"`
 }
 
-func handleLineage(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleLineage(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
 	var req LineageRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	queries, err := cq.ParseProgram(req.Queries)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	del, err := textio.ParseDeletions(req.Tuple, queries)
-	if err != nil || del.Len() != 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("tuple: want exactly one view tuple reference"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("tuple: %w", err), reqID)
+		return
+	}
+	if del.Len() != 1 {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf("tuple: want exactly one view tuple reference, got %d", del.Len()), reqID)
 		return
 	}
 	views, err := view.Materialize(queries, db)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	rep, err := lineage.Explain(views, del.Refs()[0])
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, codeNotFound, err, reqID)
 		return
 	}
 	resp := LineageResponse{Report: rep.String()}
@@ -331,27 +523,52 @@ type QueryResilience struct {
 	Method string `json:"method"`
 }
 
-func handleResilience(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleResilience(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
 	var req InstanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
+	}
+	deadline, err := a.solveDeadline(req.Timeout)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
+		return
+	}
+	budget := req.ResilienceBudget
+	if budget <= 0 {
+		budget = DefaultResilienceBudget
+	}
+	if budget > a.cfg.MaxResilienceBudget {
+		budget = a.cfg.MaxResilienceBudget
 	}
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
 	queries, err := cq.ParseProgram(req.Queries)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
 	var resp ResilienceResponse
 	for _, q := range queries {
-		n, sol, err := core.Resilience(q, db, 24)
+		n, sol, err := core.Resilience(ctx, q, db, budget)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("%s: %w", q.Name, err))
+			if errors.Is(err, core.ErrDeadline) {
+				writeErr(w, http.StatusGatewayTimeout, codeDeadlineExceeded,
+					fmt.Errorf("%s: %w", q.Name, err), reqID)
+				return
+			}
+			if errors.Is(err, core.ErrCanceled) {
+				writeErr(w, statusClientClosedRequest, codeCanceled,
+					fmt.Errorf("%s: %w", q.Name, err), reqID)
+				return
+			}
+			writeErr(w, http.StatusUnprocessableEntity, codeSolverFailed,
+				fmt.Errorf("%s: %w", q.Name, err), reqID)
 			return
 		}
 		method := "exact-hitting-set"
@@ -368,55 +585,29 @@ func handleResilience(w http.ResponseWriter, r *http.Request) {
 }
 
 // PickSolver resolves a solver by name, mirroring cmd/delprop's switch so
-// the HTTP API and CLI accept the same names.
+// the HTTP API and CLI accept the same names. Fixed names resolve through
+// the core registry (so tests can mount fault-injection solvers); "auto"
+// routes on the instance's structure.
 func PickSolver(name string, p *core.Problem) (core.Solver, error) {
-	switch name {
-	case "greedy":
-		return &core.Greedy{}, nil
-	case "red-blue":
-		return &core.RedBlue{}, nil
-	case "red-blue-exact":
-		return &core.RedBlueExact{}, nil
-	case "primal-dual":
-		return &core.PrimalDual{}, nil
-	case "low-deg":
-		return &core.LowDegTreeTwo{}, nil
-	case "dp-tree":
-		return &core.DPTree{}, nil
-	case "brute-force":
-		return &core.BruteForce{}, nil
-	case "single-exact":
-		return &core.SingleTupleExact{}, nil
-	case "balanced-red-blue":
-		return &core.BalancedRedBlue{}, nil
-	case "balanced-exact":
-		return &core.BalancedRedBlue{Exact: true}, nil
-	case "portfolio":
-		return &core.Portfolio{}, nil
-	case "unidimensional":
-		return &core.Unidimensional{}, nil
-	case "local-search":
-		return &core.LocalSearch{}, nil
-	case "auto":
-		if !p.IsKeyPreserving() {
-			// The Table IV tractable case: single sj-free head-dominated
-			// query with a single-tuple request gets the exact
-			// unidimensional algorithm; otherwise the greedy heuristic.
-			if len(p.Queries) == 1 && p.Delta.Len() == 1 {
-				uni := &core.Unidimensional{}
-				if _, err := uni.Solve(p); err == nil {
-					return uni, nil
-				}
-			}
-			return &core.Greedy{}, nil
-		}
-		if p.Delta.Len() == 1 {
-			return &core.SingleTupleExact{}, nil
-		}
-		if core.IsPivotForest(p) {
-			return &core.DPTree{}, nil
-		}
-		return &core.RedBlue{}, nil
+	if name != "auto" {
+		return core.NewSolver(name)
 	}
-	return nil, fmt.Errorf("unknown solver %q", name)
+	if !p.IsKeyPreserving() {
+		// The Table IV tractable case: single sj-free head-dominated
+		// query with a single-tuple request gets the exact unidimensional
+		// algorithm. Applicable checks the preconditions without solving,
+		// so the instance is not solved twice per request.
+		uni := &core.Unidimensional{}
+		if uni.Applicable(p) == nil {
+			return uni, nil
+		}
+		return &core.Greedy{}, nil
+	}
+	if p.Delta.Len() == 1 {
+		return &core.SingleTupleExact{}, nil
+	}
+	if core.IsPivotForest(p) {
+		return &core.DPTree{}, nil
+	}
+	return &core.RedBlue{}, nil
 }

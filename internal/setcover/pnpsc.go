@@ -1,6 +1,9 @@
 package setcover
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // PNSet is one set of a Positive-Negative Partial Set Cover instance.
 type PNSet struct {
@@ -147,9 +150,19 @@ func (p *PNPSCInstance) Solve(mode GreedyMode) (Solution, error) {
 // Exact computes an optimal PNPSC solution via the reduction and the
 // Red-Blue branch-and-bound.
 func (p *PNPSCInstance) Exact(maxSets int) (Solution, error) {
+	return p.ExactCtx(context.Background(), maxSets)
+}
+
+// ExactCtx is Exact with cooperative cancellation, mirroring
+// Instance.ExactCtx: on a done context it returns the incumbent (when one
+// exists) together with the context's error.
+func (p *PNPSCInstance) ExactCtx(ctx context.Context, maxSets int) (Solution, error) {
 	inst, decode := p.ToRedBlue()
-	sol, err := inst.Exact(maxSets)
+	sol, err := inst.ExactCtx(ctx, maxSets)
 	if err != nil {
+		if ctx.Err() != nil && len(sol.Chosen) > 0 {
+			return decode(sol), err
+		}
 		return Solution{}, err
 	}
 	return decode(sol), nil

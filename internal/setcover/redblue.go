@@ -7,6 +7,7 @@
 package setcover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -262,6 +263,15 @@ func (inst *Instance) LowDegSweep(mode GreedyMode) (Solution, error) {
 // the search to instances with at most that many sets (0 means no bound);
 // exceeding it returns an error rather than hanging.
 func (inst *Instance) Exact(maxSets int) (Solution, error) {
+	return inst.ExactCtx(context.Background(), maxSets)
+}
+
+// ExactCtx is Exact with cooperative cancellation: the branch and bound
+// polls ctx between subtrees and, when it is done, returns the best
+// solution found so far together with the context's error — so callers can
+// keep the incumbent as an anytime result (a zero-set Solution with the
+// context error means the search was stopped before any cover was found).
+func (inst *Instance) ExactCtx(ctx context.Context, maxSets int) (Solution, error) {
 	if maxSets > 0 && len(inst.Sets) > maxSets {
 		return Solution{}, fmt.Errorf("setcover: %d sets exceeds exact-solver bound %d", len(inst.Sets), maxSets)
 	}
@@ -308,8 +318,22 @@ func (inst *Instance) Exact(maxSets int) (Solution, error) {
 		cur = cur[:len(cur)-1]
 	}
 
+	visited := 0
+	aborted := false
 	var rec func()
 	rec = func() {
+		if aborted {
+			return
+		}
+		visited++
+		if visited%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				aborted = true
+				return
+			default:
+			}
+		}
 		if curCost >= bestCost {
 			return
 		}
@@ -332,6 +356,13 @@ func (inst *Instance) Exact(maxSets int) (Solution, error) {
 		}
 	}
 	rec()
+	if aborted {
+		if best == nil {
+			return Solution{}, ctx.Err()
+		}
+		sort.Ints(best)
+		return Solution{Chosen: best}, ctx.Err()
+	}
 	if best == nil {
 		return Solution{}, ErrInfeasible
 	}
