@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments fuzz fmt vet audit clean
+.PHONY: all build test test-short race cover bench experiments fuzz fmt vet audit smoke clean
 
 all: build test
 
@@ -51,6 +51,11 @@ audit:
 	else \
 		echo "audit: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
+
+# End-to-end telemetry check: boots delpropd, drives a solve, scrapes
+# /metrics and asserts the search counters moved (docs/OBSERVABILITY.md).
+smoke:
+	./scripts/metrics_smoke.sh
 
 clean:
 	$(GO) clean -testcache

@@ -15,13 +15,21 @@
 // carried an incumbent (anytime solvers), which is then printed as a
 // partial result. -resilience computes per-query resilience instead of a
 // deletion, with -resilience-budget bounding its exact search.
+//
+// -stats text|json prints per-phase timings (parse, views, solve,
+// evaluate) and the search-progress counters (nodes expanded, branches
+// pruned, checkpoints, incumbent updates, restarts) after the solve — the
+// same numbers the server exports on /metrics (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -42,10 +50,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the solve (0 = no limit)")
 	resilience := flag.Bool("resilience", false, "compute per-query resilience instead of a deletion")
 	resilienceBudget := flag.Int("resilience-budget", 24, "candidate bound for the exact resilience search")
+	stats := flag.String("stats", "", "print per-phase timings and search counters after the solve: \"text\" or \"json\"")
 	flag.Parse()
 
 	if *dbPath == "" || *qPath == "" || (*dPath == "" && !*resilience) {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *stats != "" && *stats != "text" && *stats != "json" {
+		fmt.Fprintf(os.Stderr, "delprop: -stats must be \"text\" or \"json\", got %q\n", *stats)
 		os.Exit(2)
 	}
 	opts := options{
@@ -55,6 +68,7 @@ func main() {
 		timeout:          *timeout,
 		resilience:       *resilience,
 		resilienceBudget: *resilienceBudget,
+		stats:            *stats,
 	}
 	if err := run(*dbPath, *qPath, *dPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "delprop:", err)
@@ -69,9 +83,18 @@ type options struct {
 	timeout          time.Duration
 	resilience       bool
 	resilienceBudget int
+	// stats selects the post-solve report: "" (off), "text" or "json".
+	stats string
 }
 
 func run(dbPath, qPath, dPath string, opts options) error {
+	phases := make(map[string]time.Duration)
+	phaseStart := time.Now()
+	endPhase := func(name string) {
+		now := time.Now()
+		phases[name] = now.Sub(phaseStart)
+		phaseStart = now
+	}
 	dbSrc, err := os.ReadFile(dbPath)
 	if err != nil {
 		return err
@@ -115,10 +138,12 @@ func run(dbPath, qPath, dPath string, opts options) error {
 	if err != nil {
 		return err
 	}
+	endPhase("parse")
 	p, err := core.NewProblem(db, queries, delta)
 	if err != nil {
 		return err
 	}
+	endPhase("views")
 
 	if opts.explain {
 		for _, q := range queries {
@@ -144,8 +169,11 @@ func run(dbPath, qPath, dPath string, opts options) error {
 	if err != nil {
 		return err
 	}
+	endPhase("classify")
 	fmt.Printf("solver: %s\n", solver.Name())
+	ctx, st := core.WithStats(ctx)
 	sol, err := solver.Solve(ctx, p)
+	endPhase("solve")
 	partial := false
 	if err != nil {
 		inc, ok := core.Best(err)
@@ -178,6 +206,49 @@ func run(dbPath, qPath, dPath string, opts options) error {
 	fmt.Println()
 	if opts.balanced {
 		fmt.Printf("balanced objective: %v (bad remaining %d)\n", rep.Balanced, rep.BadRemaining)
+	}
+	endPhase("evaluate")
+	if opts.stats != "" {
+		if err := printStats(os.Stdout, opts.stats, phases, st.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsReport is the -stats json schema: per-phase timings plus the search
+// counters, mirroring the server's SolveResponse fields.
+type statsReport struct {
+	PhaseMs map[string]float64 `json:"phaseMs"`
+	Stats   core.StatsSnapshot `json:"stats"`
+}
+
+// printStats writes the post-solve report in the requested form.
+func printStats(w io.Writer, form string, phases map[string]time.Duration, snap core.StatsSnapshot) error {
+	phaseMs := make(map[string]float64, len(phases))
+	for name, d := range phases {
+		phaseMs[name] = float64(d) / float64(time.Millisecond)
+	}
+	if form == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(statsReport{PhaseMs: phaseMs, Stats: snap})
+	}
+	fmt.Fprintln(w, "phase timings:")
+	for _, name := range []string{"parse", "views", "classify", "solve", "evaluate"} {
+		if d, ok := phases[name]; ok {
+			fmt.Fprintf(w, "  %-9s %v\n", name, d.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintln(w, "search counters:")
+	fmt.Fprintf(w, "  nodes expanded    %d\n", snap.NodesExpanded)
+	fmt.Fprintf(w, "  branches pruned   %d\n", snap.BranchesPruned)
+	fmt.Fprintf(w, "  checkpoints       %d\n", snap.Checkpoints)
+	fmt.Fprintf(w, "  incumbent updates %d\n", snap.IncumbentUpdates)
+	fmt.Fprintf(w, "  restarts          %d\n", snap.Restarts)
+	for _, ev := range snap.Incumbents {
+		fmt.Fprintf(w, "    incumbent: objective=%v deleted=%d at=%s\n",
+			ev.Objective, ev.Deleted, ev.At.Format(time.RFC3339Nano))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@
 //
 //	delpropd -addr :8080 [-solve-timeout 30s] [-max-solve-timeout 2m]
 //	         [-max-body 4194304] [-max-concurrent 64] [-shutdown-grace 30s]
+//	         [-ops-addr :9090] [-pprof] [-drain-delay 0s]
 //
 // Endpoints (JSON; see internal/server):
 //
@@ -12,13 +13,22 @@
 //	POST /lineage     {database, queries, tuple}
 //	POST /resilience  {database, queries, resilienceBudget?, timeout?}
 //	GET  /healthz
+//	GET  /metrics
+//	GET  /debug/traces
+//
+// With -ops-addr set, a second listener serves the operational surface
+// (/metrics, /debug/traces, /healthz, and /debug/pprof/* when -pprof is
+// also set) so profiling and scraping never compete with public traffic.
 //
 // The server enforces per-request solve deadlines, request body limits and
 // a concurrency cap with 429 load shedding, recovers solver panics into
 // 500 JSON responses, and drains in-flight solves on SIGINT/SIGTERM before
-// exiting. Operational semantics — flags, the timeout/429 contract, the
-// graceful-shutdown sequence and the error-response taxonomy — are
-// documented in docs/OPERATIONS.md.
+// exiting; during the drain /healthz reports 503 "draining" so load
+// balancers stop routing (-drain-delay holds the window open before
+// Shutdown begins). Operational semantics — flags, the timeout/429
+// contract, the graceful-shutdown sequence and the error-response taxonomy
+// — are documented in docs/OPERATIONS.md; metric names and the trace
+// schema are in docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -57,12 +67,18 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxConcurrent := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "maximum concurrent compute requests before shedding with 429")
 	maxResilience := fs.Int("max-resilience-budget", server.DefaultMaxResilienceLimit, "cap on the resilienceBudget request field")
 	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	opsAddr := fs.String("ops-addr", "", "listen address for the operational endpoints (/metrics, /debug/traces, /healthz; empty disables the second listener)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops listener (requires -ops-addr)")
+	drainDelay := fs.Duration("drain-delay", 0, "how long to keep serving after flipping /healthz to 503 draining, so load balancers observe it before connections close")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *enablePprof && *opsAddr == "" {
+		return errors.New("-pprof requires -ops-addr")
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := server.NewHandler(server.Config{
+	app := server.NewHandler(server.Config{
 		DefaultSolveTimeout: *solveTimeout,
 		MaxSolveTimeout:     *maxSolveTimeout,
 		MaxBodyBytes:        *maxBody,
@@ -72,7 +88,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           app,
 		ReadHeaderTimeout: 5 * time.Second,
 		// ReadTimeout bounds slow request uploads; WriteTimeout must
 		// outlast the largest admissible solve deadline or it would cut
@@ -86,6 +102,28 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		opsSrv = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           app.OpsHandler(*enablePprof),
+			ReadHeaderTimeout: 5 * time.Second,
+			// No WriteTimeout: pprof CPU profiles stream for their
+			// requested duration.
+		}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "err", err)
+			}
+		}()
+		logger.Info("delpropd ops listening", "addr", opsLn.Addr().String(), "pprof", *enablePprof)
+	}
+
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -103,15 +141,35 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behavior: a second signal kills immediately
+	// Flip health to 503 first so load balancers stop routing, then hold
+	// the drain window open before refusing connections.
+	app.SetDraining(true)
+	logger.Info("draining: /healthz now 503", "drainDelay", *drainDelay, "grace", *shutdownGrace)
+	if *drainDelay > 0 {
+		timer := time.NewTimer(*drainDelay)
+		select {
+		case <-timer.C:
+		case err := <-errCh:
+			timer.Stop()
+			return err
+		}
+	}
 	logger.Info("shutting down; draining in-flight requests", "grace", *shutdownGrace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	shutdownErr := srv.Shutdown(drainCtx)
+	if opsSrv != nil {
+		// The ops listener has no long-lived requests; give it a moment.
+		opsCtx, opsCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = opsSrv.Shutdown(opsCtx)
+		opsCancel()
+	}
+	if shutdownErr != nil {
 		// The grace period expired with requests still in flight: cut the
 		// remaining connections rather than hang forever.
-		logger.Warn("grace period expired; closing remaining connections", "err", err)
+		logger.Warn("grace period expired; closing remaining connections", "err", shutdownErr)
 		_ = srv.Close()
-		return err
+		return shutdownErr
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

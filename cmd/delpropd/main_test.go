@@ -148,4 +148,7 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+	if err := run(context.Background(), []string{"-pprof"}, nil); err == nil {
+		t.Fatal("-pprof without -ops-addr accepted")
+	}
 }

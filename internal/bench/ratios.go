@@ -346,6 +346,23 @@ func runDPTree(w io.Writer) error {
 	return nil
 }
 
+// timedSolve runs one solver with search-progress instrumentation and
+// renders wall-clock plus the counters that explain it (n=nodes expanded,
+// p=branches pruned, i=incumbent updates, r=restarts) — the same numbers
+// the server exports on /metrics, so bench rows and production dashboards
+// are directly comparable.
+func timedSolve(s core.Solver, p *core.Problem) string {
+	ctx, st := core.WithStats(context.Background())
+	t0 := time.Now()
+	if _, err := s.Solve(ctx, p); err != nil {
+		return "err: " + err.Error()
+	}
+	dur := time.Since(t0)
+	snap := st.Snapshot()
+	return fmt.Sprintf("%v [n=%d p=%d i=%d r=%d]",
+		dur, snap.NodesExpanded, snap.BranchesPruned, snap.IncumbentUpdates, snap.Restarts)
+}
+
 // runScalability: wall-clock of every solver across growing databases.
 func runScalability(w io.Writer) error {
 	t := &Table{
@@ -367,12 +384,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			t0 := time.Now()
-			if _, err := s.Solve(context.Background(), p); err != nil {
-				times = append(times, "err: "+err.Error())
-				continue
-			}
-			times = append(times, time.Since(t0).String())
+			times = append(times, timedSolve(s, p))
 		}
 		t.Add(fmt.Sprint(rows), fmt.Sprint(p.DB.Size()), fmt.Sprint(p.TotalViewSize()),
 			times[0], times[1], times[2], times[3])
@@ -400,12 +412,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			t0 := time.Now()
-			if _, err := s.Solve(context.Background(), p); err != nil {
-				times = append(times, "err: "+err.Error())
-				continue
-			}
-			times = append(times, time.Since(t0).String())
+			times = append(times, timedSolve(s, p))
 		}
 		t2.Add(fmt.Sprint(m), fmt.Sprint(p.TotalViewSize()), times[0], times[1], times[2], times[3])
 	}
@@ -431,12 +438,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			t0 := time.Now()
-			if _, err := s.Solve(context.Background(), p); err != nil {
-				times = append(times, "err: "+err.Error())
-				continue
-			}
-			times = append(times, time.Since(t0).String())
+			times = append(times, timedSolve(s, p))
 		}
 		t3.Add(fmt.Sprint(p.Delta.Len()), times[0], times[1], times[2], times[3])
 	}

@@ -116,10 +116,12 @@ func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		sol *Solution
 		err error
 	}
+	st := StatsFrom(ctx)
 	outcomes := make([]outcome, len(solvers))
 	if pf.Parallel {
 		var wg sync.WaitGroup
 		for i, s := range solvers {
+			st.Restart()
 			wg.Add(1)
 			go func(i int, s Solver) {
 				defer wg.Done()
@@ -130,6 +132,7 @@ func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		wg.Wait()
 	} else {
 		for i, s := range solvers {
+			st.Restart()
 			sol, err := s.Solve(ctx, p)
 			outcomes[i] = outcome{sol: sol, err: err}
 		}

@@ -40,11 +40,16 @@ func (b *BruteForce) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if len(cands) > max {
 		return nil, fmt.Errorf("%w: %d candidate tuples exceeds brute-force bound %d", ErrTooLarge, len(cands), max)
 	}
+	st := StatsFrom(ctx)
 	var best *Solution
 	bestCost := 0.0
 	n := len(cands)
+	scanned := 0
 	for mask := 0; mask < 1<<n; mask++ {
 		if mask%checkEvery == 0 {
+			st.Checkpoint()
+			st.AddNodes(int64(mask - scanned))
+			scanned = mask
 			if err := checkCtx(ctx, b.Name(), best); err != nil {
 				return nil, err
 			}
@@ -69,8 +74,10 @@ func (b *BruteForce) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		if best == nil || cost < bestCost || (cost == bestCost && len(del) < len(best.Deleted)) {
 			best = sol
 			bestCost = cost
+			st.Incumbent(cost, len(del))
 		}
 	}
+	st.AddNodes(int64(1<<n - scanned))
 	if best == nil {
 		// With key-preserving queries deleting all candidates is always
 		// feasible, so this only happens when some requested view tuple

@@ -297,6 +297,8 @@ func (d *DPTree) Name() string {
 // absent. The DP is polynomial; the checkpoint granularity is one tree per
 // poll (forest detection dominates the cost anyway).
 func (d *DPTree) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
+	st.Checkpoint()
 	if err := checkCtx(ctx, d.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -304,8 +306,11 @@ func (d *DPTree) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The DP visits every forest node exactly once.
+	st.AddNodes(int64(forest.Size()))
 	sol := &Solution{}
 	for _, root := range forest.roots {
+		st.Checkpoint()
 		if err := checkCtx(ctx, d.Name(), nil); err != nil {
 			return nil, err
 		}

@@ -29,6 +29,11 @@ type Faulty struct {
 	// Stall bounds how long FaultIgnoreCtx spins (default 5s) so a
 	// misconfigured test cannot wedge a worker forever.
 	Stall time.Duration
+	// Latency is injected before the fault fires. The sleep respects ctx:
+	// if the context is done (or fires mid-sleep), Solve returns the typed
+	// interruption immediately instead of holding a drain for the full
+	// latency.
+	Latency time.Duration
 }
 
 // Name implements Solver.
@@ -44,6 +49,15 @@ func (f *Faulty) Name() string {
 
 // Solve implements Solver.
 func (f *Faulty) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if f.Latency > 0 {
+		t := time.NewTimer(f.Latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, interruption(ctx, f.Name(), nil)
+		case <-t.C:
+		}
+	}
 	switch f.Mode {
 	case FaultIgnoreCtx:
 		stall := f.Stall

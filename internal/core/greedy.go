@@ -38,6 +38,7 @@ func (g *Greedy) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 }
 
 func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
 	cands := p.CandidateTuples()
 	m := view.NewMaintainer(p.Views)
 	deltaRefs := p.Delta.Refs()
@@ -61,6 +62,7 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 	}
 	taken := make(map[string]bool)
 	for {
+		st.Checkpoint()
 		if err := checkCtx(ctx, g.Name(), nil); err != nil {
 			return nil, err
 		}
@@ -74,6 +76,7 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 			if taken[id.Key()] {
 				continue
 			}
+			st.AddNodes(1)
 			died := m.Delete(id)
 			killed := 0
 			extra := 0.0
@@ -106,6 +109,7 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 }
 
 func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
 	cands := p.CandidateTuples()
 	deleted := make(map[string]bool)
 	var chosen []relation.TupleID
@@ -158,6 +162,7 @@ func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) 
 	}
 
 	for {
+		st.Checkpoint()
 		if err := checkCtx(ctx, g.Name(), nil); err != nil {
 			return nil, err
 		}
@@ -173,6 +178,7 @@ func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) 
 			if deleted[k] {
 				continue
 			}
+			st.AddNodes(1)
 			deleted[k] = true
 			killed := len(bad) - len(aliveBad())
 			cut := baseDerivs - aliveDerivations()

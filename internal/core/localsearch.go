@@ -73,19 +73,25 @@ func (ls *LocalSearch) Solve(ctx context.Context, p *Problem) (*Solution, error)
 		// variant); return it untouched.
 		return start, nil
 	}
+	st := StatsFrom(ctx)
 	cands := p.CandidateTuples()
 	for pass := 0; pass < passes; pass++ {
+		// Each climbing pass is one restart of the sweep.
+		st.Restart()
 		improved := false
 		// Drop moves.
 		for k, id := range sortedEntries(current) {
 			_ = k
+			st.Checkpoint()
 			if err := checkCtx(ctx, ls.Name(), toSolution()); err != nil {
 				return nil, err
 			}
+			st.AddNodes(1)
 			delete(current, id.Key())
 			if c, ok := score(); ok && c <= bestCost {
 				if c < bestCost {
 					improved = true
+					st.Incumbent(c, len(current))
 				}
 				bestCost = c
 				continue
@@ -94,6 +100,7 @@ func (ls *LocalSearch) Solve(ctx context.Context, p *Problem) (*Solution, error)
 		}
 		// Swap moves: replace one deletion with one candidate.
 		for _, id := range sortedEntries(current) {
+			st.Checkpoint()
 			if err := checkCtx(ctx, ls.Name(), toSolution()); err != nil {
 				return nil, err
 			}
@@ -101,11 +108,13 @@ func (ls *LocalSearch) Solve(ctx context.Context, p *Problem) (*Solution, error)
 				if _, in := current[alt.Key()]; in || alt.Key() == id.Key() {
 					continue
 				}
+				st.AddNodes(1)
 				delete(current, id.Key())
 				current[alt.Key()] = alt
 				if c, ok := score(); ok && c < bestCost {
 					bestCost = c
 					improved = true
+					st.Incumbent(c, len(current))
 					break
 				}
 				delete(current, alt.Key())

@@ -104,11 +104,15 @@ func (l *LowDegTreeTwo) Solve(ctx context.Context, p *Problem) (*Solution, error
 		taus = append(taus, d)
 	}
 	sort.Ints(taus)
+	st := StatsFrom(ctx)
 	var best *Solution
 	bestCost := math.Inf(1)
 	for _, tau := range taus {
 		// The sweep is anytime across τ values: keep the best feasible
-		// solution seen so far as the incumbent.
+		// solution seen so far as the incumbent. Each τ value is one
+		// restart of the inner primal-dual run.
+		st.Restart()
+		st.Checkpoint()
 		if err := checkCtx(ctx, l.Name(), best); err != nil {
 			return nil, err
 		}
@@ -130,6 +134,7 @@ func (l *LowDegTreeTwo) Solve(ctx context.Context, p *Problem) (*Solution, error
 		if rep.SideEffect < bestCost {
 			bestCost = rep.SideEffect
 			best = sol
+			st.Incumbent(bestCost, len(sol.Deleted))
 		}
 	}
 	if best == nil {

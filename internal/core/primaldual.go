@@ -50,6 +50,8 @@ const saturationEps = 1e-9
 
 // Solve implements Solver.
 func (pd *PrimalDual) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
+	st.Checkpoint()
 	if err := checkCtx(ctx, pd.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -125,10 +127,13 @@ func (pd *PrimalDual) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 	var pickOrder []string
 	for ri, r := range reqs {
 		if ri%checkEvery == 0 {
+			st.Checkpoint()
 			if err := checkCtx(ctx, pd.Name(), nil); err != nil {
 				return nil, err
 			}
 		}
+		// Each dual raise is one node of the primal-dual "search".
+		st.AddNodes(1)
 		if len(r.path) == 0 {
 			// No deletable tuple can kill this request; infeasible under
 			// the restriction.

@@ -81,6 +81,8 @@ func (r *RedBlue) Name() string { return "red-blue" }
 // Solve implements Solver. The reduction and sweep are polynomial, so a
 // single checkpoint before each phase suffices.
 func (r *RedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
+	st.Checkpoint()
 	if err := checkCtx(ctx, r.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -91,6 +93,7 @@ func (r *RedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if enc.inst.NumBlue == 0 {
 		return &Solution{}, nil
 	}
+	st.Checkpoint()
 	if err := checkCtx(ctx, r.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -98,6 +101,9 @@ func (r *RedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: red-blue sweep: %w", err)
 	}
+	// The sweep probes every set once per distinct red degree; that probe
+	// count is its "nodes expanded" equivalent.
+	st.AddNodes(int64(len(enc.inst.Sets)))
 	return enc.decode(sol), nil
 }
 
@@ -116,6 +122,8 @@ func (r *RedBlueExact) Name() string { return "red-blue-exact" }
 // interruption the *Interrupted error carries the best cover found so far,
 // decoded back to a source deletion.
 func (r *RedBlueExact) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
+	st.Checkpoint()
 	if err := checkCtx(ctx, r.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -126,7 +134,7 @@ func (r *RedBlueExact) Solve(ctx context.Context, p *Problem) (*Solution, error)
 	if enc.inst.NumBlue == 0 {
 		return &Solution{}, nil
 	}
-	sol, err := enc.inst.ExactCtx(ctx, r.MaxSets)
+	sol, err := enc.inst.ExactRecorded(ctx, r.MaxSets, recorder(st))
 	if err != nil {
 		if isCtxErr(err) {
 			var incumbent *Solution
@@ -165,6 +173,8 @@ func (b *BalancedRedBlue) Name() string {
 // Solve implements Solver. The exact variant is anytime like
 // RedBlueExact; the approximation is polynomial.
 func (b *BalancedRedBlue) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := StatsFrom(ctx)
+	st.Checkpoint()
 	if err := checkCtx(ctx, b.Name(), nil); err != nil {
 		return nil, err
 	}
@@ -213,9 +223,10 @@ func (b *BalancedRedBlue) Solve(ctx context.Context, p *Problem) (*Solution, err
 	var sol setcover.Solution
 	var err error
 	if b.Exact {
-		sol, err = pn.ExactCtx(ctx, b.MaxSets)
+		sol, err = pn.ExactRecorded(ctx, b.MaxSets, recorder(st))
 	} else {
 		sol, err = pn.Solve(b.Mode)
+		st.AddNodes(int64(len(pn.Sets)))
 	}
 	if err != nil {
 		if isCtxErr(err) {

@@ -33,12 +33,15 @@ func (s *SingleTupleExact) Solve(ctx context.Context, p *Problem) (*Solution, er
 	if !ok || len(ans.Derivations) != 1 {
 		return nil, fmt.Errorf("core: requested view tuple %s has %d derivations, want 1", ref, len(ans.Derivations))
 	}
+	st := StatsFrom(ctx)
 	var best *Solution
 	bestCost := 0.0
 	for _, id := range ans.Derivations[0].TupleSet() {
+		st.Checkpoint()
 		if err := checkCtx(ctx, s.Name(), best); err != nil {
 			return nil, err
 		}
+		st.AddNodes(1)
 		sol := &Solution{Deleted: []relation.TupleID{id}}
 		rep := p.Evaluate(sol)
 		if !rep.Feasible {
@@ -48,6 +51,7 @@ func (s *SingleTupleExact) Solve(ctx context.Context, p *Problem) (*Solution, er
 		}
 		if best == nil || rep.SideEffect < bestCost {
 			best, bestCost = sol, rep.SideEffect
+			st.Incumbent(bestCost, 1)
 		}
 	}
 	if best == nil {

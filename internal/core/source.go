@@ -102,7 +102,9 @@ func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 	}
 
 	// coverers[path] precomputed; branch on the least-covered path.
+	st := StatsFrom(ctx)
 	visited := 0
+	flushed := 0
 	var interrupted error
 	var rec func()
 	rec = func() {
@@ -111,6 +113,9 @@ func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 		}
 		visited++
 		if visited%checkEvery == 0 {
+			st.Checkpoint()
+			st.AddNodes(int64(visited - flushed))
+			flushed = visited
 			var incumbent *Solution
 			if best != nil {
 				incumbent = toSolution(best)
@@ -121,6 +126,7 @@ func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 			}
 		}
 		if curCost >= bestCost {
+			st.AddPruned(1)
 			return
 		}
 		if remaining == 0 {
@@ -131,6 +137,7 @@ func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 					best = append(best, i)
 				}
 			}
+			st.Incumbent(bestCost, len(best))
 			return
 		}
 		// Pick an unhit path with the fewest candidates.
@@ -177,6 +184,7 @@ func (s *SourceExact) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 		}
 	}
 	rec()
+	st.AddNodes(int64(visited - flushed))
 	if interrupted != nil {
 		return nil, interrupted
 	}
@@ -219,14 +227,17 @@ func (s *SourceGreedy) Solve(ctx context.Context, p *Problem) (*Solution, error)
 			paths = append(paths, pt)
 		}
 	}
+	st := StatsFrom(ctx)
 	remaining := len(paths)
 	sol := &Solution{}
 	for remaining > 0 {
+		st.Checkpoint()
 		if err := checkCtx(ctx, s.Name(), nil); err != nil {
 			return nil, err
 		}
 		best, bestScore := -1, -1.0
 		for i, id := range cands {
+			st.AddNodes(1)
 			hits := 0
 			for _, pt := range paths {
 				if !pt.hit && pt.tuples[id.Key()] {

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delprop/internal/setcover"
+)
+
+// Stats collects search-progress counters for one solve. A *Stats is
+// carried in the solve context (WithStats / StatsFrom); every solver
+// reports into it, so the CLI, the HTTP server and the bench harness all
+// see the same numbers next to the Report. All methods are safe for
+// concurrent use (Portfolio runs members in parallel against one Stats)
+// and nil-safe, so solvers never need to guard on instrumentation being
+// absent.
+type Stats struct {
+	// nodes counts search nodes expanded: branch-and-bound subtrees,
+	// brute-force masks, greedy candidate probes, local-search move
+	// probes, primal-dual dual raises.
+	nodes atomic.Int64
+	// pruned counts branches cut by a bound before expansion.
+	pruned atomic.Int64
+	// checkpoints counts cooperative cancellation polls.
+	checkpoints atomic.Int64
+	// restarts counts outer-loop restarts: local-search passes, low-deg
+	// τ-sweep iterations, portfolio members launched.
+	restarts atomic.Int64
+
+	mu         sync.Mutex
+	incumbents []IncumbentEvent
+}
+
+// IncumbentEvent records one improvement of the best-so-far solution.
+type IncumbentEvent struct {
+	// At is when the incumbent was installed.
+	At time.Time `json:"at"`
+	// Objective is the incumbent's objective value (side effect, cover
+	// cost, or balanced objective, per solver).
+	Objective float64 `json:"objective"`
+	// Deleted is |ΔD| of the incumbent.
+	Deleted int `json:"deleted"`
+}
+
+// AddNodes adds n expanded search nodes.
+func (s *Stats) AddNodes(n int64) {
+	if s != nil {
+		s.nodes.Add(n)
+	}
+}
+
+// AddPruned adds n bound-pruned branches.
+func (s *Stats) AddPruned(n int64) {
+	if s != nil {
+		s.pruned.Add(n)
+	}
+}
+
+// Checkpoint ticks one cooperative cancellation poll.
+func (s *Stats) Checkpoint() {
+	if s != nil {
+		s.checkpoints.Add(1)
+	}
+}
+
+// Restart ticks one outer-loop restart.
+func (s *Stats) Restart() {
+	if s != nil {
+		s.restarts.Add(1)
+	}
+}
+
+// Incumbent records a best-so-far improvement with its objective value
+// and solution size, timestamped now.
+func (s *Stats) Incumbent(objective float64, deleted int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.incumbents = append(s.incumbents, IncumbentEvent{At: time.Now(), Objective: objective, Deleted: deleted})
+	s.mu.Unlock()
+}
+
+// StatsSnapshot is an immutable copy of the counters, JSON-ready for the
+// HTTP response, the CLI -stats flag, and bench output.
+type StatsSnapshot struct {
+	NodesExpanded    int64            `json:"nodesExpanded"`
+	BranchesPruned   int64            `json:"branchesPruned"`
+	Checkpoints      int64            `json:"checkpoints"`
+	Restarts         int64            `json:"restarts"`
+	IncumbentUpdates int64            `json:"incumbentUpdates"`
+	Incumbents       []IncumbentEvent `json:"incumbents,omitempty"`
+}
+
+// Snapshot copies the current counters. Safe to call while the solve is
+// still running (the server logs mid-flight snapshots for abandoned
+// solvers).
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	s.mu.Lock()
+	inc := append([]IncumbentEvent(nil), s.incumbents...)
+	s.mu.Unlock()
+	return StatsSnapshot{
+		NodesExpanded:    s.nodes.Load(),
+		BranchesPruned:   s.pruned.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		Restarts:         s.restarts.Load(),
+		IncumbentUpdates: int64(len(inc)),
+		Incumbents:       inc,
+	}
+}
+
+// statsKey carries the *Stats through the solve context.
+type statsKey struct{}
+
+// WithStats returns a context carrying a fresh Stats for one solve, and
+// the Stats itself for the caller to read after (or during) the solve.
+func WithStats(ctx context.Context) (context.Context, *Stats) {
+	st := &Stats{}
+	return context.WithValue(ctx, statsKey{}, st), st
+}
+
+// StatsFrom extracts the solve's Stats from the context, or nil when the
+// caller did not ask for instrumentation. Solvers fetch it once at entry;
+// all Stats methods are nil-safe.
+func StatsFrom(ctx context.Context) *Stats {
+	st, _ := ctx.Value(statsKey{}).(*Stats)
+	return st
+}
+
+// recorder adapts a possibly-nil *Stats to a setcover.SearchRecorder,
+// keeping the recorder interface nil (reporting fully disabled on the hot
+// path) when instrumentation is off.
+func recorder(st *Stats) setcover.SearchRecorder {
+	if st == nil {
+		return nil
+	}
+	return st
+}
+
+// Node, Prune and BBIncumbent make *Stats satisfy setcover.SearchRecorder
+// without the setcover package importing core: the branch-and-bound
+// engines report their progress through that interface.
+
+// Node implements setcover.SearchRecorder.
+func (s *Stats) Node(n int64) { s.AddNodes(n) }
+
+// Prune implements setcover.SearchRecorder.
+func (s *Stats) Prune(n int64) { s.AddPruned(n) }
+
+// BBIncumbent implements setcover.SearchRecorder.
+func (s *Stats) BBIncumbent(cost float64, size int) { s.Incumbent(cost, size) }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestStatsNilSafe(t *testing.T) {
+	var st *Stats
+	st.AddNodes(3)
+	st.AddPruned(1)
+	st.Checkpoint()
+	st.Restart()
+	st.Incumbent(1.5, 2)
+	snap := st.Snapshot()
+	if snap.NodesExpanded != 0 || snap.BranchesPruned != 0 || snap.Checkpoints != 0 ||
+		snap.Restarts != 0 || snap.IncumbentUpdates != 0 || len(snap.Incumbents) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestStatsFromContext(t *testing.T) {
+	if st := StatsFrom(context.Background()); st != nil {
+		t.Errorf("bare context stats = %v, want nil", st)
+	}
+	ctx, st := WithStats(context.Background())
+	if got := StatsFrom(ctx); got != st {
+		t.Error("StatsFrom must return the Stats WithStats installed")
+	}
+	if rec := recorder(nil); rec != nil {
+		t.Error("recorder(nil) must be a nil interface")
+	}
+	if rec := recorder(st); rec == nil {
+		t.Error("recorder(st) must be non-nil")
+	}
+}
+
+func TestBruteForceReportsStats(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	if _, err := (&BruteForce{}).Solve(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	n := len(p.CandidateTuples())
+	if want := int64(1 << n); snap.NodesExpanded != want {
+		t.Errorf("nodes = %d, want %d (full mask scan)", snap.NodesExpanded, want)
+	}
+	if snap.IncumbentUpdates == 0 {
+		t.Error("brute force found an optimum but recorded no incumbents")
+	}
+	if len(snap.Incumbents) != int(snap.IncumbentUpdates) {
+		t.Errorf("incumbent list len %d != counter %d", len(snap.Incumbents), snap.IncumbentUpdates)
+	}
+	last := snap.Incumbents[len(snap.Incumbents)-1]
+	if last.At.IsZero() || last.Deleted == 0 {
+		t.Errorf("last incumbent = %+v", last)
+	}
+}
+
+func TestExactSearchReportsPrunes(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	if _, err := (&RedBlueExact{}).Solve(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.NodesExpanded == 0 {
+		t.Error("branch and bound expanded no nodes")
+	}
+	if snap.IncumbentUpdates == 0 {
+		t.Error("branch and bound installed no incumbent")
+	}
+}
+
+func TestSweepAndSearchReportRestarts(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	if _, err := (&LowDegTreeTwo{}).Solve(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if snap := st.Snapshot(); snap.Restarts == 0 {
+		t.Error("τ-sweep recorded no restarts")
+	}
+	ctx, st = WithStats(context.Background())
+	if _, err := (&LocalSearch{}).Solve(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Restarts == 0 {
+		t.Error("local search recorded no passes")
+	}
+	if snap.NodesExpanded == 0 {
+		t.Error("local search probed no moves (greedy inner should count probes)")
+	}
+	if snap.Checkpoints == 0 {
+		t.Error("no cancellation checkpoints recorded")
+	}
+}
+
+// TestStatsUninstrumentedSolve proves solvers run without a Stats in the
+// context (the nil-safe no-op path).
+func TestStatsUninstrumentedSolve(t *testing.T) {
+	p := fig1Q4Problem(t)
+	for _, s := range []Solver{&BruteForce{}, &Greedy{}, &RedBlue{}, &RedBlueExact{}, &LowDegTreeTwo{}} {
+		if _, err := s.Solve(context.Background(), p); err != nil {
+			t.Errorf("%s without stats: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestStatsConcurrentSolves shares one Stats across parallel solves (the
+// Portfolio pattern) and checks the counters under -race.
+func TestStatsConcurrentSolves(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := (&BruteForce{}).Solve(ctx, p); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	n := len(p.CandidateTuples())
+	if want := int64(4 << n); snap.NodesExpanded != want {
+		t.Errorf("nodes = %d, want %d across 4 solves", snap.NodesExpanded, want)
+	}
+}
+
+func TestPortfolioRecordsMemberRestarts(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	pf := &Portfolio{Solvers: []Solver{&Greedy{}, &RedBlue{}}, Parallel: true}
+	if _, err := pf.Solve(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if snap := st.Snapshot(); snap.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2 (one per member)", snap.Restarts)
+	}
+}

@@ -67,12 +67,15 @@ func (u *Unidimensional) Solve(ctx context.Context, p *Problem) (*Solution, erro
 	q := p.Queries[0]
 	ref := p.Delta.Refs()[0]
 	ans, _ := p.Answer(ref)
+	st := StatsFrom(ctx)
 	var best *Solution
 	bestCost := 0.0
 	for ai := range q.Body {
+		st.Checkpoint()
 		if err := checkCtx(ctx, u.Name(), best); err != nil {
 			return nil, err
 		}
+		st.AddNodes(1)
 		// The unidimensional candidate for atom ai: every fact this atom
 		// matches in a derivation of the requested answer.
 		seen := make(map[string]relation.TupleID)
@@ -94,6 +97,7 @@ func (u *Unidimensional) Solve(ctx context.Context, p *Problem) (*Solution, erro
 		if best == nil || rep.SideEffect < bestCost ||
 			(rep.SideEffect == bestCost && len(sol.Deleted) < len(best.Deleted)) {
 			best, bestCost = sol, rep.SideEffect
+			st.Incumbent(bestCost, len(sol.Deleted))
 		}
 	}
 	if best == nil {

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"delprop/internal/telemetry"
 )
 
 // Config tunes the hardening middleware around the handlers. The zero
@@ -30,6 +32,12 @@ type Config struct {
 	MaxResilienceBudget int
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
+	// Metrics receives the server's counters, gauges and histograms; nil
+	// means a fresh registry per handler (exposed on GET /metrics).
+	Metrics *telemetry.Registry
+	// Tracer records per-solve phase traces; nil means a fresh tracer
+	// with DefaultTraceBuffer capacity (exposed on GET /debug/traces).
+	Tracer *telemetry.Tracer
 }
 
 // Defaults applied by withDefaults.
@@ -68,15 +76,22 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = telemetry.NewTracer(0)
+	}
 	return c
 }
 
 // api holds the mounted configuration and the shared concurrency
 // semaphore.
 type api struct {
-	cfg    Config
-	sem    chan struct{}
-	nextID atomic.Uint64
+	cfg      Config
+	sem      chan struct{}
+	nextID   atomic.Uint64
+	draining atomic.Bool
 }
 
 // requestIDKey carries the request id through the request context.
@@ -108,11 +123,14 @@ func (s *statusRecorder) WriteHeader(code int) {
 // panics into 500 JSON responses, and writes one structured log line per
 // request with latency and outcome.
 func (a *api) instrument(next http.Handler) http.Handler {
+	inflight := a.cfg.Metrics.Gauge(metricHTTPInFlight,
+		"HTTP requests currently being served.", nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := "r" + strconv.FormatUint(a.nextID.Add(1), 10)
 		r = r.WithContext(contextWithRequestID(r.Context(), id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		inflight.Add(1)
 		defer func() {
 			if v := recover(); v != nil {
 				a.cfg.Logger.Error("panic serving request",
@@ -123,6 +141,8 @@ func (a *api) instrument(next http.Handler) http.Handler {
 				writeErr(rec, http.StatusInternalServerError, codeInternal,
 					fmt.Errorf("internal error (request %s)", id), id)
 			}
+			inflight.Add(-1)
+			a.observeHTTP(r.Method, r.URL.Path, rec.status, time.Since(start))
 			a.cfg.Logger.Info("request",
 				"requestId", id,
 				"method", r.Method,

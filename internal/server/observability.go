@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"delprop/internal/core"
+	"delprop/internal/telemetry"
+)
+
+// Metric families exported by the server. docs/OBSERVABILITY.md is the
+// operator-facing contract for these names; renaming one is a breaking
+// change for dashboards.
+const (
+	metricHTTPRequests     = "delprop_http_requests_total"
+	metricHTTPInFlight     = "delprop_http_in_flight_requests"
+	metricDraining         = "delprop_draining"
+	metricSolveDuration    = "delprop_solve_duration_seconds"
+	metricSolvesTotal      = "delprop_solves_total"
+	metricNodesExpanded    = "delprop_solver_nodes_expanded_total"
+	metricBranchesPruned   = "delprop_solver_branches_pruned_total"
+	metricCheckpoints      = "delprop_solver_checkpoints_total"
+	metricIncumbentUpdates = "delprop_solver_incumbent_updates_total"
+	metricRestarts         = "delprop_solver_restarts_total"
+)
+
+// observeHTTP records one finished HTTP request.
+func (a *api) observeHTTP(method, path string, status int, dur time.Duration) {
+	a.cfg.Metrics.Counter(metricHTTPRequests,
+		"HTTP requests served, by path, method and status.",
+		telemetry.Labels{"path": path, "method": method, "status": httpStatusLabel(status)}).Inc()
+	a.cfg.Metrics.Histogram("delprop_http_request_duration_seconds",
+		"HTTP request latency in seconds, by path.",
+		nil, telemetry.Labels{"path": path}).Observe(dur.Seconds())
+}
+
+// httpStatusLabel keeps status label cardinality bounded even if a handler
+// writes an exotic code.
+func httpStatusLabel(status int) string {
+	if status >= 100 && status < 600 {
+		return strconv.Itoa(status)
+	}
+	return "other"
+}
+
+// observeSolve records one finished (or interrupted) solve: the latency
+// histogram per solver, the outcome counter, and the search-progress
+// counters aggregated from the solve's Stats.
+func (a *api) observeSolve(solver, outcome string, dur time.Duration, snap core.StatsSnapshot) {
+	reg := a.cfg.Metrics
+	reg.Histogram(metricSolveDuration,
+		"Solve latency in seconds, by solver.",
+		nil, telemetry.Labels{"solver": solver}).Observe(dur.Seconds())
+	reg.Counter(metricSolvesTotal,
+		"Solves finished, by solver and outcome (ok, partial, error, timeout, canceled, panic, unstoppable).",
+		telemetry.Labels{"solver": solver, "outcome": outcome}).Inc()
+	lb := telemetry.Labels{"solver": solver}
+	reg.Counter(metricNodesExpanded,
+		"Search nodes expanded (branch-and-bound subtrees, brute-force masks, greedy probes).",
+		lb).Add(snap.NodesExpanded)
+	reg.Counter(metricBranchesPruned,
+		"Search branches cut by a bound before expansion.",
+		lb).Add(snap.BranchesPruned)
+	reg.Counter(metricCheckpoints,
+		"Cooperative cancellation checkpoints hit during solves.",
+		lb).Add(snap.Checkpoints)
+	reg.Counter(metricIncumbentUpdates,
+		"Best-so-far incumbent improvements recorded during solves.",
+		lb).Add(snap.IncumbentUpdates)
+	reg.Counter(metricRestarts,
+		"Outer-loop restarts (local-search passes, τ-sweep iterations, portfolio members).",
+		lb).Add(snap.Restarts)
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format.
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.cfg.Metrics.WritePrometheus(w)
+}
+
+// TracesResponse is the /debug/traces payload.
+type TracesResponse struct {
+	Traces []telemetry.TraceJSON `json:"traces"`
+}
+
+// handleTraces returns the most recent finished solve traces, oldest
+// first.
+func (a *api) handleTraces(w http.ResponseWriter, r *http.Request) {
+	snap := a.cfg.Tracer.Snapshot()
+	if snap == nil {
+		snap = []telemetry.TraceJSON{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: snap})
+}
+
+// handleHealthz answers liveness probes; once draining it flips to 503 so
+// load balancers stop routing before the shutdown grace period expires.
+func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if a.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// OpsHandler returns the operational endpoint mux intended for a separate,
+// non-public listener (delpropd's -ops-addr): /metrics, /debug/traces,
+// /healthz, and — when enablePprof is set — the net/http/pprof profiling
+// handlers under /debug/pprof/. pprof is opt-in because profiles can stall
+// the process and leak internals; never expose this mux to untrusted
+// clients.
+func (s *Server) OpsHandler(enablePprof bool) http.Handler {
+	a := s.api
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

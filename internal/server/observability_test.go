@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// get fetches a path from the test server and returns status + body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// projectFreeSolve is a key-preserving, project-free instance routed to an
+// explicit search solver so the nodes/incumbent counters provably move.
+func projectFreeSolve() InstanceRequest {
+	return InstanceRequest{
+		Database:  fig1DB,
+		Queries:   "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+		Deletions: "Q4(John, TKDE, XML)",
+		Solver:    "brute-force",
+	}
+}
+
+func TestMetricsAfterSolve(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	resp, body := post(t, srv, "/solve", projectFreeSolve())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats == nil || out.Stats.NodesExpanded == 0 {
+		t.Fatalf("response stats = %+v, want nodes > 0", out.Stats)
+	}
+	if out.PhaseMs == nil {
+		t.Fatal("response carries no phase timings")
+	}
+	for _, phase := range []string{"parse", "views", "classify", "solve", "evaluate"} {
+		if _, ok := out.PhaseMs[phase]; !ok {
+			t.Errorf("phaseMs missing %q: %v", phase, out.PhaseMs)
+		}
+	}
+
+	status, metrics := get(t, srv, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE delprop_solve_duration_seconds histogram",
+		`delprop_solve_duration_seconds_count{solver="brute-force"} 1`,
+		"# TYPE delprop_solver_nodes_expanded_total counter",
+		`delprop_solver_nodes_expanded_total{solver="brute-force"}`,
+		`delprop_solver_incumbent_updates_total{solver="brute-force"}`,
+		`delprop_solves_total{outcome="ok",solver="brute-force"} 1`,
+		`delprop_http_requests_total{method="POST",path="/solve",status="200"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The scraped nodes counter matches the per-response stats.
+	wantLine := `delprop_solver_nodes_expanded_total{solver="brute-force"} `
+	found := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, wantLine) {
+			found = true
+			if got := strings.TrimPrefix(line, wantLine); got != jsonInt(out.Stats.NodesExpanded) {
+				t.Errorf("scraped nodes = %s, response stats = %d", got, out.Stats.NodesExpanded)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no nodes-expanded series in:\n%s", metrics)
+	}
+}
+
+func jsonInt(n int64) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestTracesAfterSolve(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	status, body := get(t, srv, "/debug/traces")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/traces status = %d", status)
+	}
+	var empty TracesResponse
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Traces) != 0 {
+		t.Fatalf("traces before any solve = %d", len(empty.Traces))
+	}
+
+	if resp, b := post(t, srv, "/solve", projectFreeSolve()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, b)
+	}
+	_, body = get(t, srv, "/debug/traces")
+	var got TracesResponse
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 1 {
+		t.Fatalf("traces after one solve = %d, want 1", len(got.Traces))
+	}
+	tr := got.Traces[0]
+	if tr.Name != "solve" {
+		t.Errorf("trace name = %q", tr.Name)
+	}
+	if tr.Attrs["solver"] != "brute-force" || tr.Attrs["outcome"] != "ok" {
+		t.Errorf("trace attrs = %v", tr.Attrs)
+	}
+	for _, a := range []string{"dbSize", "queries", "deltaSize", "requestId"} {
+		if tr.Attrs[a] == "" {
+			t.Errorf("trace missing attr %q: %v", a, tr.Attrs)
+		}
+	}
+	var names []string
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	if want := "parse,views,classify,solve,evaluate"; strings.Join(names, ",") != want {
+		t.Errorf("span order = %v, want %s", names, want)
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	if status, body := get(t, srv, "/healthz"); status != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz = %d %s", status, body)
+	}
+	app.SetDraining(true)
+	if !app.Draining() {
+		t.Fatal("Draining() = false after SetDraining(true)")
+	}
+	status, body := get(t, srv, "/healthz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, `"draining"`) {
+		t.Fatalf("draining healthz = %d %s", status, body)
+	}
+	if _, metrics := get(t, srv, "/metrics"); !strings.Contains(metrics, "delprop_draining 1") {
+		t.Error("/metrics missing delprop_draining 1")
+	}
+	app.SetDraining(false)
+	if status, _ := get(t, srv, "/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz after undrain = %d", status)
+	}
+}
+
+func TestOpsHandler(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+	if resp, b := post(t, srv, "/solve", projectFreeSolve()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, b)
+	}
+
+	ops := httptest.NewServer(app.OpsHandler(true))
+	defer ops.Close()
+	// The ops mux shares the app's registry: the solve above is visible.
+	if status, body := get(t, ops, "/metrics"); status != http.StatusOK ||
+		!strings.Contains(body, `delprop_solves_total{outcome="ok",solver="brute-force"} 1`) {
+		t.Errorf("ops /metrics = %d:\n%s", status, body)
+	}
+	if status, _ := get(t, ops, "/healthz"); status != http.StatusOK {
+		t.Errorf("ops /healthz = %d", status)
+	}
+	if status, _ := get(t, ops, "/debug/traces"); status != http.StatusOK {
+		t.Errorf("ops /debug/traces = %d", status)
+	}
+	if status, body := get(t, ops, "/debug/pprof/cmdline"); status != http.StatusOK || body == "" {
+		t.Errorf("ops pprof cmdline = %d", status)
+	}
+
+	// Without the flag, pprof must be absent.
+	opsOff := httptest.NewServer(app.OpsHandler(false))
+	defer opsOff.Close()
+	if status, _ := get(t, opsOff, "/debug/pprof/cmdline"); status != http.StatusNotFound {
+		t.Errorf("pprof without flag = %d, want 404", status)
+	}
+}
+
+// TestMetricsUnderConcurrentSolves drives parallel solves against one
+// registry; -race in CI validates the hot paths.
+func TestMetricsUnderConcurrentSolves(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, srv, "/solve", projectFreeSolve())
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("solve status = %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	_, metrics := get(t, srv, "/metrics")
+	if want := `delprop_solve_duration_seconds_count{solver="brute-force"} 8`; !strings.Contains(metrics, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"delprop/internal/classify"
@@ -27,16 +28,25 @@ import (
 	"delprop/internal/cq"
 	"delprop/internal/lineage"
 	"delprop/internal/relation"
+	"delprop/internal/telemetry"
 	"delprop/internal/textio"
 	"delprop/internal/view"
 )
 
-// New returns the HTTP handler with all routes mounted under the default
+// Server is the mounted API: an http.Handler plus the operational surface
+// (drain flag, metrics registry, tracer, ops mux) that delpropd wires to
+// flags and signals.
+type Server struct {
+	api     *api
+	handler http.Handler
+}
+
+// New returns the server with all routes mounted under the default
 // hardening configuration.
-func New() http.Handler { return NewHandler(Config{}) }
+func New() *Server { return NewHandler(Config{}) }
 
 // NewHandler mounts the routes under cfg (zero fields take defaults).
-func NewHandler(cfg Config) http.Handler {
+func NewHandler(cfg Config) *Server {
 	a := &api{cfg: cfg.withDefaults()}
 	a.sem = make(chan struct{}, a.cfg.MaxConcurrent)
 	mux := http.NewServeMux()
@@ -44,13 +54,44 @@ func NewHandler(cfg Config) http.Handler {
 	mux.Handle("POST /classify", a.compute(a.handleClassify))
 	mux.Handle("POST /lineage", a.compute(a.handleLineage))
 	mux.Handle("POST /resilience", a.compute(a.handleResilience))
-	// Liveness stays outside the shedder: a saturated server must still
-	// answer health probes.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return a.instrument(mux)
+	// Liveness and the observability reads stay outside the shedder: a
+	// saturated server must still answer probes and scrapes.
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	return &Server{api: a, handler: a.instrument(mux)}
 }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// SetDraining flips the drain flag: once set, GET /healthz answers 503
+// {"status":"draining"} so load balancers stop routing new traffic while
+// in-flight requests finish. delpropd sets it on SIGINT/SIGTERM before
+// calling http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) {
+	s.api.draining.Store(v)
+	g := s.api.cfg.Metrics.Gauge(metricDraining,
+		"1 once SIGTERM drain has begun, 0 while serving normally.", nil)
+	if v {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+// Draining reports whether the drain flag is set.
+func (s *Server) Draining() bool { return s.api.draining.Load() }
+
+// Metrics returns the server's metric registry (the one GET /metrics
+// renders).
+func (s *Server) Metrics() *telemetry.Registry { return s.api.cfg.Metrics }
+
+// Tracer returns the server's solve tracer (the one GET /debug/traces
+// snapshots).
+func (s *Server) Tracer() *telemetry.Tracer { return s.api.cfg.Tracer }
 
 // InstanceRequest is the common instance payload: textio database, datalog
 // queries, and (for solve) a textio deletion request.
@@ -94,6 +135,13 @@ type SolveResponse struct {
 	// "canceled").
 	Interrupted string `json:"interrupted,omitempty"`
 	RequestID   string `json:"requestId,omitempty"`
+	// Stats carries the solve's search-progress counters (nodes expanded,
+	// branches pruned, checkpoints, incumbent updates, restarts) — the
+	// same numbers the CLI -stats flag and the bench harness report.
+	Stats *core.StatsSnapshot `json:"stats,omitempty"`
+	// PhaseMs maps lifecycle phases (parse, views, classify, solve,
+	// evaluate) to their duration in fractional milliseconds.
+	PhaseMs map[string]float64 `json:"phaseMs,omitempty"`
 }
 
 // Machine-readable error codes (see docs/OPERATIONS.md for the taxonomy).
@@ -161,44 +209,59 @@ func (a *api) solveDeadline(spec string) (time.Duration, error) {
 	return d, nil
 }
 
-// buildProblem parses the shared instance payload.
-func buildProblem(req *InstanceRequest) (*core.Problem, []*cq.Query, error) {
+// parseInstance is the parse phase of the shared instance payload: text to
+// database, queries and deletion request, no view materialization yet.
+func parseInstance(req *InstanceRequest) (*relation.Instance, []*cq.Query, *view.Deletion, error) {
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {
-		return nil, nil, fmt.Errorf("database: %w", err)
+		return nil, nil, nil, fmt.Errorf("database: %w", err)
 	}
 	queries, err := cq.ParseProgram(req.Queries)
 	if err != nil {
-		return nil, nil, fmt.Errorf("queries: %w", err)
+		return nil, nil, nil, fmt.Errorf("queries: %w", err)
 	}
 	if len(queries) == 0 {
-		return nil, nil, errors.New("queries: empty program")
+		return nil, nil, nil, errors.New("queries: empty program")
 	}
 	var delta *view.Deletion
 	if req.Deletions != "" {
 		delta, err = textio.ParseDeletions(req.Deletions, queries)
 		if err != nil {
-			return nil, nil, fmt.Errorf("deletions: %w", err)
+			return nil, nil, nil, fmt.Errorf("deletions: %w", err)
 		}
 	}
+	return db, queries, delta, nil
+}
+
+// materializeProblem is the views phase: materialize the views, build the
+// Problem and apply preservation weights.
+func materializeProblem(req *InstanceRequest, db *relation.Instance, queries []*cq.Query, delta *view.Deletion) (*core.Problem, error) {
 	p, err := core.NewProblem(db, queries, delta)
+	if err != nil {
+		return nil, err
+	}
+	for spec, weight := range req.Weights {
+		del, err := textio.ParseDeletions(spec, queries)
+		if err != nil {
+			return nil, fmt.Errorf("weights: %w", err)
+		}
+		for _, ref := range del.Refs() {
+			p.SetWeight(ref, weight)
+		}
+	}
+	return p, nil
+}
+
+// buildProblem parses the shared instance payload (parse + views phases in
+// one step, for handlers that don't trace them separately).
+func buildProblem(req *InstanceRequest) (*core.Problem, []*cq.Query, error) {
+	db, queries, delta, err := parseInstance(req)
 	if err != nil {
 		return nil, nil, err
 	}
-	if req.Weights != nil {
-		byName := make(map[string]int, len(queries))
-		for i, q := range queries {
-			byName[q.Name] = i
-		}
-		for spec, weight := range req.Weights {
-			del, err := textio.ParseDeletions(spec, queries)
-			if err != nil {
-				return nil, nil, fmt.Errorf("weights: %w", err)
-			}
-			for _, ref := range del.Refs() {
-				p.SetWeight(ref, weight)
-			}
-		}
+	p, err := materializeProblem(req, db, queries, delta)
+	if err != nil {
+		return nil, nil, err
 	}
 	return p, queries, nil
 }
@@ -268,24 +331,78 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
-	p, _, err := buildProblem(&req)
+	tr := a.cfg.Tracer.Start("solve")
+	defer tr.Finish()
+	tr.SetAttr("requestId", reqID)
+
+	endParse := tr.Span("parse")
+	db, queries, delta, err := parseInstance(&req)
+	endParse()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
 	}
+	endViews := tr.Span("views")
+	p, err := materializeProblem(&req, db, queries, delta)
+	endViews()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
+		return
+	}
+	// Instance-size attributes: |D| source tuples, m queries, Σ|ΔVi|
+	// requested view deletions.
+	dbSize, numQueries, deltaSize := db.Size(), len(queries), p.Delta.Len()
+	tr.SetAttr("dbSize", strconv.Itoa(dbSize))
+	tr.SetAttr("queries", strconv.Itoa(numQueries))
+	tr.SetAttr("deltaSize", strconv.Itoa(deltaSize))
+
 	name := req.Solver
 	if name == "" {
 		name = "auto"
 	}
+	endClassify := tr.Span("classify")
 	solver, err := PickSolver(name, p)
+	endClassify()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, codeUnknownSolver, err, reqID)
 		return
 	}
+	tr.SetAttr("solver", solver.Name())
+
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	ctx, stats := core.WithStats(ctx)
+	endSolve := tr.Span("solve")
+	solveStart := time.Now()
 	out, stopped := a.runSolve(ctx, reqID, solver, p, deadline)
+	solveDur := time.Since(solveStart)
+	endSolve()
+
+	// finish records the solve metrics and the structured solve log line
+	// exactly once per request, whatever the outcome.
+	snap := stats.Snapshot()
+	finish := func(outcome string) {
+		tr.SetAttr("outcome", outcome)
+		a.observeSolve(solver.Name(), outcome, solveDur, snap)
+		a.cfg.Logger.Info("solve",
+			"requestId", reqID,
+			"solver", solver.Name(),
+			"outcome", outcome,
+			"dbSize", dbSize,
+			"queries", numQueries,
+			"deltaSize", deltaSize,
+			"parseMs", tr.SpanDuration("parse").Milliseconds(),
+			"viewsMs", tr.SpanDuration("views").Milliseconds(),
+			"classifyMs", tr.SpanDuration("classify").Milliseconds(),
+			"solveMs", solveDur.Milliseconds(),
+			"nodes", snap.NodesExpanded,
+			"pruned", snap.BranchesPruned,
+			"checkpoints", snap.Checkpoints,
+			"incumbents", snap.IncumbentUpdates,
+			"restarts", snap.Restarts)
+	}
 	if !stopped {
+		finish("unstoppable")
 		writeErr(w, http.StatusGatewayTimeout, codeSolverUnstoppable,
 			fmt.Errorf("solver %s did not stop within the %v deadline", solver.Name(), deadline), reqID)
 		return
@@ -294,6 +411,7 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if out.err != nil {
 		switch {
 		case errors.Is(out.err, errSolverPanic):
+			finish("panic")
 			writeErr(w, http.StatusInternalServerError, codeInternal,
 				fmt.Errorf("internal error (request %s)", reqID), reqID)
 			return
@@ -305,12 +423,13 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 				!errors.Is(out.err, core.ErrDeadline) && !errors.Is(out.err, context.DeadlineExceeded)
 			inc, ok := core.Best(out.err)
 			if !ok {
-				status, code := http.StatusGatewayTimeout, codeDeadlineExceeded
+				status, code, outcome := http.StatusGatewayTimeout, codeDeadlineExceeded, "timeout"
 				if canceled {
 					// The client is gone; the response is written for the
 					// log's benefit only.
-					status, code = statusClientClosedRequest, codeCanceled
+					status, code, outcome = statusClientClosedRequest, codeCanceled, "canceled"
 				}
+				finish(outcome)
 				writeErr(w, status, code, out.err, reqID)
 				return
 			}
@@ -320,10 +439,12 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 				interrupted = "canceled"
 			}
 		default:
+			finish("error")
 			writeErr(w, http.StatusUnprocessableEntity, codeSolverFailed, out.err, reqID)
 			return
 		}
 	}
+	endEvaluate := tr.Span("evaluate")
 	rep := p.Evaluate(sol)
 	resp := SolveResponse{
 		Solver:       solver.Name(),
@@ -334,6 +455,7 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Partial:      partial,
 		Interrupted:  interrupted,
 		RequestID:    reqID,
+		Stats:        &snap,
 	}
 	for _, id := range sol.Deleted {
 		resp.Deleted = append(resp.Deleted, toTupleJSON(id))
@@ -345,6 +467,19 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if lb, err := core.DualBound(p); err == nil {
 			resp.LowerBound = &lb
 		}
+	}
+	endEvaluate()
+	if partial {
+		finish("partial")
+	} else {
+		finish("ok")
+	}
+	resp.PhaseMs = map[string]float64{
+		"parse":    float64(tr.SpanDuration("parse")) / float64(time.Millisecond),
+		"views":    float64(tr.SpanDuration("views")) / float64(time.Millisecond),
+		"classify": float64(tr.SpanDuration("classify")) / float64(time.Millisecond),
+		"solve":    float64(solveDur) / float64(time.Millisecond),
+		"evaluate": float64(tr.SpanDuration("evaluate")) / float64(time.Millisecond),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

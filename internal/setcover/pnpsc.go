@@ -157,8 +157,14 @@ func (p *PNPSCInstance) Exact(maxSets int) (Solution, error) {
 // Instance.ExactCtx: on a done context it returns the incumbent (when one
 // exists) together with the context's error.
 func (p *PNPSCInstance) ExactCtx(ctx context.Context, maxSets int) (Solution, error) {
+	return p.ExactRecorded(ctx, maxSets, nil)
+}
+
+// ExactRecorded is ExactCtx reporting search progress to rec (nil
+// disables reporting), mirroring Instance.ExactRecorded.
+func (p *PNPSCInstance) ExactRecorded(ctx context.Context, maxSets int, rec SearchRecorder) (Solution, error) {
 	inst, decode := p.ToRedBlue()
-	sol, err := inst.ExactCtx(ctx, maxSets)
+	sol, err := inst.ExactRecorded(ctx, maxSets, rec)
 	if err != nil {
 		if ctx.Err() != nil && len(sol.Chosen) > 0 {
 			return decode(sol), err

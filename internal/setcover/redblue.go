@@ -259,6 +259,20 @@ func (inst *Instance) LowDegSweep(mode GreedyMode) (Solution, error) {
 	return best, nil
 }
 
+// SearchRecorder receives branch-and-bound progress events from the
+// exact solvers. Implementations must be safe for concurrent use; a nil
+// recorder disables reporting. core.Stats satisfies it, which is how the
+// telemetry layer sees inside the search without this package depending
+// on core.
+type SearchRecorder interface {
+	// Node reports n expanded search nodes (batched).
+	Node(n int64)
+	// Prune reports n branches cut by the cost bound (batched).
+	Prune(n int64)
+	// BBIncumbent reports an improved best-so-far cover.
+	BBIncumbent(cost float64, size int)
+}
+
 // Exact computes an optimal solution by branch and bound. maxSets bounds
 // the search to instances with at most that many sets (0 means no bound);
 // exceeding it returns an error rather than hanging.
@@ -272,6 +286,13 @@ func (inst *Instance) Exact(maxSets int) (Solution, error) {
 // keep the incumbent as an anytime result (a zero-set Solution with the
 // context error means the search was stopped before any cover was found).
 func (inst *Instance) ExactCtx(ctx context.Context, maxSets int) (Solution, error) {
+	return inst.ExactRecorded(ctx, maxSets, nil)
+}
+
+// ExactRecorded is ExactCtx reporting search progress to rec (nil
+// disables reporting; node and prune counts are flushed in batches so the
+// hot recursion stays free of per-node interface calls).
+func (inst *Instance) ExactRecorded(ctx context.Context, maxSets int, rec SearchRecorder) (Solution, error) {
 	if maxSets > 0 && len(inst.Sets) > maxSets {
 		return Solution{}, fmt.Errorf("setcover: %d sets exceeds exact-solver bound %d", len(inst.Sets), maxSets)
 	}
@@ -318,15 +339,28 @@ func (inst *Instance) ExactCtx(ctx context.Context, maxSets int) (Solution, erro
 		cur = cur[:len(cur)-1]
 	}
 
-	visited := 0
+	visited, lastFlush := 0, 0
+	pruned := int64(0)
+	flush := func() {
+		if rec == nil {
+			return
+		}
+		rec.Node(int64(visited - lastFlush))
+		lastFlush = visited
+		if pruned > 0 {
+			rec.Prune(pruned)
+			pruned = 0
+		}
+	}
 	aborted := false
-	var rec func()
-	rec = func() {
+	var walk func()
+	walk = func() {
 		if aborted {
 			return
 		}
 		visited++
 		if visited%1024 == 0 {
+			flush()
 			select {
 			case <-ctx.Done():
 				aborted = true
@@ -335,11 +369,15 @@ func (inst *Instance) ExactCtx(ctx context.Context, maxSets int) (Solution, erro
 			}
 		}
 		if curCost >= bestCost {
+			pruned++
 			return
 		}
 		if remaining == 0 {
 			bestCost = curCost
 			best = append([]int(nil), cur...)
+			if rec != nil {
+				rec.BBIncumbent(bestCost, len(best))
+			}
 			return
 		}
 		// Branch on the uncovered blue with the fewest covering sets.
@@ -351,11 +389,12 @@ func (inst *Instance) ExactCtx(ctx context.Context, maxSets int) (Solution, erro
 		}
 		for _, si := range cov[pick] {
 			choose(si)
-			rec()
+			walk()
 			unchoose(si)
 		}
 	}
-	rec()
+	walk()
+	flush()
 	if aborted {
 		if best == nil {
 			return Solution{}, ctx.Err()

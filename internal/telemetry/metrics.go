@@ -1,0 +1,299 @@
+// Package telemetry is the stdlib-only observability layer shared by the
+// solver stack: a metrics registry (counters, gauges, histograms with
+// atomic hot paths) exposed in the Prometheus text format, and a tracer
+// recording per-solve spans into a ring buffer of recent traces (see
+// trace.go). The server mounts both under GET /metrics and
+// GET /debug/traces; docs/OBSERVABILITY.md documents the metric names and
+// schemas.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimension values to a metric instance ("solver",
+// "path", ...). Instances with distinct label values are independent
+// series of the same family.
+type Labels map[string]string
+
+// key renders the labels in canonical sorted order, used both as the map
+// key inside the registry and as the rendered {a="b"} clause.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, quote and newline exactly as the
+		// Prometheus text format requires.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric. Add is a single atomic
+// operation, safe on hot paths.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (CAS loop; contention-safe).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Observe touches one bucket
+// counter, the count, and the sum — all atomics, no locks.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets is the default latency bucket layout, in seconds, spanning
+// sub-millisecond solves to the 2-minute server deadline cap.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds}
+	h.buckets = make([]atomic.Int64, len(bounds))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative in the exposition, not in storage: each slot
+	// counts values in (bounds[i-1], bounds[i]]; render sums them up.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metricKind tags a family for the # TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one metric name with its help text and series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+	series map[string]any
+	order  []string
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Lookup takes a read lock; the returned handles are
+// lock-free, so callers on hot paths should cache them.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup finds or creates the named family and the series for labels.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels Labels, mk func() any) any {
+	lk := labels.key()
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[lk]; ok {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]any)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice with different types", name))
+	}
+	s, ok := f.series[lk]
+	if !ok {
+		s = mk()
+		f.series[lk] = s
+		f.order = append(f.order, lk)
+	}
+	return s
+}
+
+// Counter returns the counter series for name+labels, creating it (and
+// its family, with help text) on first use. nil-safe: a nil registry
+// returns a detached counter, so instrumented code needs no guards.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, help, kindCounter, nil, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels (nil-safe, see Counter).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, help, kindGauge, nil, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels. bounds apply on
+// family creation only (nil means DefBuckets); later calls reuse the
+// family's layout. nil-safe, see Counter.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return r.lookup(name, help, kindHistogram, bounds, labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// formatValue renders a float without the exponent noise %v would add for
+// integers stored as floats.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in registration order using the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", f.name)
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", f.name)
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
+		}
+		for _, lk := range f.order {
+			switch s := f.series[lk].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(lk), s.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(lk), formatValue(s.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range s.bounds {
+					cum += s.buckets[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bracedWith(lk, "le", formatValue(bound)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bracedWith(lk, "le", "+Inf"), s.Count())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(lk), formatValue(s.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(lk), s.Count())
+			}
+		}
+	}
+}
+
+// braced wraps a non-empty label key in {}.
+func braced(lk string) string {
+	if lk == "" {
+		return ""
+	}
+	return "{" + lk + "}"
+}
+
+// bracedWith appends one extra label (le for histogram buckets).
+func bracedWith(lk, name, value string) string {
+	extra := fmt.Sprintf("%s=%q", name, value)
+	if lk == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + lk + "," + extra + "}"
+}

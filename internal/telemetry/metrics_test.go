@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", Labels{"kind": "a"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "Depth.", nil)
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 55.55 {
+		t.Errorf("sum = %v, want 55.55", h.Sum())
+	}
+}
+
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", Labels{"k": "1"})
+	b := r.Counter("x_total", "X.", Labels{"k": "1"})
+	if a != b {
+		t.Error("same name+labels must return the same series")
+	}
+	c := r.Counter("x_total", "X.", Labels{"k": "2"})
+	if a == c {
+		t.Error("distinct labels must return distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "M.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering m as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("m", "M.", nil)
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("delprop_solves_total", "Solves.", Labels{"solver": "greedy"}).Add(3)
+	r.Gauge("delprop_draining", "Draining.", nil).Set(1)
+	h := r.Histogram("delprop_solve_duration_seconds", "Latency.", []float64{0.1, 1}, Labels{"solver": "greedy"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP delprop_solves_total Solves.",
+		"# TYPE delprop_solves_total counter",
+		`delprop_solves_total{solver="greedy"} 3`,
+		"# TYPE delprop_draining gauge",
+		"delprop_draining 1",
+		"# TYPE delprop_solve_duration_seconds histogram",
+		`delprop_solve_duration_seconds_bucket{solver="greedy",le="0.1"} 1`,
+		`delprop_solve_duration_seconds_bucket{solver="greedy",le="1"} 2`,
+		`delprop_solve_duration_seconds_bucket{solver="greedy",le="+Inf"} 3`,
+		`delprop_solve_duration_seconds_sum{solver="greedy"} 7.55`,
+		`delprop_solve_duration_seconds_count{solver="greedy"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "", Labels{"q": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if want := `weird_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "", nil).Inc()
+	r.Gauge("b", "", nil).Set(1)
+	r.Histogram("c", "", nil, nil).Observe(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered %q", b.String())
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines — lookup,
+// increment and render all racing — and relies on -race in CI to catch
+// unsynchronized access.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			solver := []string{"greedy", "red-blue"}[i%2]
+			for j := 0; j < 1000; j++ {
+				r.Counter("delprop_solver_nodes_expanded_total", "Nodes.", Labels{"solver": solver}).Add(3)
+				r.Histogram("delprop_solve_duration_seconds", "Latency.", nil, Labels{"solver": solver}).Observe(0.001)
+				r.Gauge("delprop_http_in_flight_requests", "In flight.", nil).Add(1)
+				r.Gauge("delprop_http_in_flight_requests", "In flight.", nil).Add(-1)
+			}
+		}(i)
+	}
+	// Render concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	total := r.Counter("delprop_solver_nodes_expanded_total", "Nodes.", Labels{"solver": "greedy"}).Value() +
+		r.Counter("delprop_solver_nodes_expanded_total", "Nodes.", Labels{"solver": "red-blue"}).Value()
+	if want := int64(8 * 1000 * 3); total != want {
+		t.Errorf("total nodes = %d, want %d", total, want)
+	}
+	if v := r.Gauge("delprop_http_in_flight_requests", "In flight.", nil).Value(); v != 0 {
+		t.Errorf("in-flight gauge = %v, want 0", v)
+	}
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records traces — one per solve lifecycle — into a fixed-size
+// ring buffer of the most recent finished traces. A nil *Tracer is a
+// valid no-op tracer, so instrumented code needs no guards.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	ring   []*Trace // most recent cap finished traces, oldest first
+	nextID uint64
+}
+
+// DefaultTraceBuffer is the ring capacity when NewTracer gets 0.
+const DefaultTraceBuffer = 64
+
+// NewTracer returns a tracer keeping the last capacity finished traces
+// (DefaultTraceBuffer when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceBuffer
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Trace is one in-flight or finished trace: a named operation with
+// attributes and an ordered list of phase spans.
+type Trace struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	id    uint64
+	name  string
+	start time.Time
+	end   time.Time
+	attrs map[string]string
+	spans []span
+}
+
+type span struct {
+	name  string
+	start time.Time
+	end   time.Time
+}
+
+// Start begins a trace. Finish must be called to commit it to the ring.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Trace{tracer: t, id: id, name: name, start: time.Now()}
+}
+
+// SetAttr attaches a key/value attribute (solver name, instance sizes).
+func (tr *Trace) SetAttr(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.attrs == nil {
+		tr.attrs = make(map[string]string)
+	}
+	tr.attrs[key] = value
+}
+
+// Span opens a named phase and returns the closure that ends it. Typical
+// use:
+//
+//	done := tr.Span("parse")
+//	... phase work ...
+//	done()
+func (tr *Trace) Span(name string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, span{name: name, start: time.Now()})
+	i := len(tr.spans) - 1
+	tr.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			tr.mu.Lock()
+			tr.spans[i].end = time.Now()
+			tr.mu.Unlock()
+		})
+	}
+}
+
+// SpanDuration returns the duration of the most recent finished span with
+// the given name (0 when absent or unfinished) — used for phase-timing
+// logs without re-walking the snapshot.
+func (tr *Trace) SpanDuration(name string) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := len(tr.spans) - 1; i >= 0; i-- {
+		s := tr.spans[i]
+		if s.name == name && !s.end.IsZero() {
+			return s.end.Sub(s.start)
+		}
+	}
+	return 0
+}
+
+// Finish ends the trace and commits it to the tracer's ring buffer,
+// evicting the oldest entry when full. Idempotent.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if !tr.end.IsZero() {
+		tr.mu.Unlock()
+		return
+	}
+	tr.end = time.Now()
+	for i := range tr.spans {
+		if tr.spans[i].end.IsZero() {
+			tr.spans[i].end = tr.end
+		}
+	}
+	t := tr.tracer
+	tr.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = append(t.ring, tr)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+}
+
+// SpanJSON is one phase of a trace in the /debug/traces schema.
+type SpanJSON struct {
+	Name       string  `json:"name"`
+	OffsetMs   float64 `json:"offsetMs"`
+	DurationMs float64 `json:"durationMs"`
+}
+
+// TraceJSON is one finished trace in the /debug/traces schema.
+type TraceJSON struct {
+	ID         uint64            `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"durationMs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanJSON        `json:"spans"`
+}
+
+// Snapshot returns the finished traces in the ring, oldest first.
+func (t *Tracer) Snapshot() []TraceJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ring := append([]*Trace(nil), t.ring...)
+	t.mu.Unlock()
+	out := make([]TraceJSON, 0, len(ring))
+	for _, tr := range ring {
+		tr.mu.Lock()
+		tj := TraceJSON{
+			ID:         tr.id,
+			Name:       tr.name,
+			Start:      tr.start,
+			DurationMs: ms(tr.end.Sub(tr.start)),
+		}
+		if len(tr.attrs) > 0 {
+			tj.Attrs = make(map[string]string, len(tr.attrs))
+			for k, v := range tr.attrs {
+				tj.Attrs[k] = v
+			}
+		}
+		for _, s := range tr.spans {
+			tj.Spans = append(tj.Spans, SpanJSON{
+				Name:       s.name,
+				OffsetMs:   ms(s.start.Sub(tr.start)),
+				DurationMs: ms(s.end.Sub(s.start)),
+			})
+		}
+		tr.mu.Unlock()
+		out = append(out, tj)
+	}
+	return out
+}
+
+// ms converts a duration to fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

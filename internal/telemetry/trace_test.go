@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	x := tr.Start("solve")
+	x.SetAttr("solver", "greedy")
+	done := x.Span("parse")
+	time.Sleep(time.Millisecond)
+	done()
+	done()                  // idempotent
+	open := x.Span("solve") // left open: Finish must close it
+	_ = open
+	x.Finish()
+	x.Finish() // idempotent
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.Name != "solve" || got.ID != 1 {
+		t.Errorf("trace = %+v", got)
+	}
+	if got.Attrs["solver"] != "greedy" {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+	if len(got.Spans) != 2 || got.Spans[0].Name != "parse" || got.Spans[1].Name != "solve" {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if got.Spans[0].DurationMs <= 0 {
+		t.Errorf("parse duration = %v, want > 0", got.Spans[0].DurationMs)
+	}
+	if got.DurationMs < got.Spans[0].DurationMs {
+		t.Errorf("trace duration %v < span duration %v", got.DurationMs, got.Spans[0].DurationMs)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Start("t").Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("ring len = %d, want 2", len(snap))
+	}
+	// Oldest first: the last two of the five traces survive.
+	if snap[0].ID != 4 || snap[1].ID != 5 {
+		t.Errorf("ring ids = %d, %d, want 4, 5", snap[0].ID, snap[1].ID)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr := NewTracer(0)
+	x := tr.Start("solve")
+	if d := x.SpanDuration("missing"); d != 0 {
+		t.Errorf("missing span duration = %v", d)
+	}
+	done := x.Span("parse")
+	if d := x.SpanDuration("parse"); d != 0 {
+		t.Errorf("unfinished span duration = %v, want 0", d)
+	}
+	time.Sleep(time.Millisecond)
+	done()
+	if d := x.SpanDuration("parse"); d <= 0 {
+		t.Errorf("finished span duration = %v, want > 0", d)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	x := tr.Start("solve") // nil trace
+	x.SetAttr("k", "v")
+	x.Span("parse")()
+	if d := x.SpanDuration("parse"); d != 0 {
+		t.Errorf("nil trace span duration = %v", d)
+	}
+	x.Finish()
+	if snap := tr.Snapshot(); snap != nil {
+		t.Errorf("nil tracer snapshot = %v", snap)
+	}
+}
+
+// TestTracerConcurrent exercises concurrent Start/Span/Finish/Snapshot
+// under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				x := tr.Start("solve")
+				done := x.Span("phase")
+				x.SetAttr("j", "v")
+				done()
+				x.Finish()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 8 {
+		t.Errorf("final ring len = %d, want 8", got)
+	}
+}
