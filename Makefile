@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments fuzz fmt vet audit smoke clean
+.PHONY: all build test test-short race cover bench experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
 
 all: build test
 
@@ -32,15 +32,30 @@ fuzz:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/cq/
 	$(GO) test -run=FuzzParseDatabase -fuzz=FuzzParseDatabase -fuzztime=30s ./internal/textio/
 
+# Short fuzz pass for CI: 10s per target on top of the checked-in seed
+# corpora under internal/*/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/cq/
+	$(GO) test -run=FuzzParseDatabase -fuzz=FuzzParseDatabase -fuzztime=10s ./internal/textio/
+
 fmt:
 	gofmt -w .
 
 vet:
 	$(GO) vet ./...
 
-# Static analysis + vulnerability scan. Skips gracefully when the tools
-# are not installed (CI installs and runs both unconditionally).
-audit:
+# Build and run the repo's own vet suite (tools/lint is a separate,
+# stdlib-only module), then test the analyzers themselves. The invariant
+# catalog is docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) -C tools/lint build -o bin/delproplint ./cmd/delproplint
+	$(GO) vet -vettool=tools/lint/bin/delproplint ./...
+	$(GO) -C tools/lint test ./...
+
+# Static analysis + vulnerability scan. delproplint always runs (it
+# builds offline); staticcheck/govulncheck skip gracefully when not
+# installed (CI installs and runs both unconditionally).
+audit: lint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

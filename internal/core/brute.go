@@ -55,9 +55,9 @@ func (b *BruteForce) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 			}
 		}
 		var del []relation.TupleID
-		for i := 0; i < n; i++ {
+		for i, cand := range cands {
 			if mask&(1<<i) != 0 {
-				del = append(del, cands[i])
+				del = append(del, cand)
 			}
 		}
 		sol := &Solution{Deleted: del}

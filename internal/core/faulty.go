@@ -65,6 +65,7 @@ func (f *Faulty) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 			stall = 5 * time.Second
 		}
 		deadline := time.Now().Add(stall)
+		//lint:ignore solveloop FaultIgnoreCtx exists to simulate a solver that never polls its context; the busy-wait is the fault being injected and is bounded by the stall deadline
 		for time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentStress hammers the solver registry from many
+// goroutines at once — registrations (including re-registrations of the
+// same name), constructions, and name listings — so `go test -race`
+// catches any locking regression in RegisterSolver/NewSolver/SolverNames.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		writers = 8
+		readers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				// Re-register a shared name and a per-goroutine name, with a
+				// fault-injection solver mixed in like the server tests do.
+				name := fmt.Sprintf("stress-%d", w)
+				RegisterSolver(name, func() Solver { return &Greedy{} })
+				RegisterSolver("stress-shared", func() Solver {
+					return &Faulty{Mode: FaultPanic, Latency: time.Millisecond}
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				if _, err := NewSolver("greedy"); err != nil {
+					t.Errorf("NewSolver(greedy): %v", err)
+					return
+				}
+				if _, err := NewSolver(fmt.Sprintf("missing-%d-%d", r, i)); err == nil {
+					t.Error("NewSolver on an unknown name should fail")
+					return
+				}
+				names := SolverNames()
+				for j := 1; j < len(names); j++ {
+					if names[j-1] >= names[j] {
+						t.Errorf("SolverNames not strictly sorted: %v", names)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+
+	// The registry must still be functional after the stampede, and the
+	// fault-injection solver registered under contention must construct.
+	s, err := NewSolver("stress-shared")
+	if err != nil {
+		t.Fatalf("NewSolver(stress-shared): %v", err)
+	}
+	if _, ok := s.(*Faulty); !ok {
+		t.Fatalf("stress-shared constructed %T, want *Faulty", s)
+	}
+}
+
+// TestRegistryConcurrentSolve constructs and runs solvers from the
+// registry concurrently while registrations continue, mirroring the HTTP
+// server's steady state of per-request NewSolver under occasional
+// test-time RegisterSolver.
+func TestRegistryConcurrentSolve(t *testing.T) {
+	p := fig1Q3Problem(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				RegisterSolver(fmt.Sprintf("solve-stress-%d", g), func() Solver { return &Greedy{} })
+				s, err := NewSolver("greedy")
+				if err != nil {
+					t.Errorf("NewSolver: %v", err)
+					return
+				}
+				if _, err := s.Solve(context.Background(), p); err != nil {
+					t.Errorf("Solve: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

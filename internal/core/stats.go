@@ -16,6 +16,8 @@ import (
 // concurrent use (Portfolio runs members in parallel against one Stats)
 // and nil-safe, so solvers never need to guard on instrumentation being
 // absent.
+//
+//delprop:nilsafe
 type Stats struct {
 	// nodes counts search nodes expanded: branch-and-bound subtrees,
 	// brute-force masks, greedy candidate probes, local-search move

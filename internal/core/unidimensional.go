@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"delprop/internal/classify"
 	"delprop/internal/cq"
@@ -108,9 +109,7 @@ func (u *Unidimensional) Solve(ctx context.Context, p *Problem) (*Solution, erro
 
 // sortSolution orders deletions by key for determinism.
 func sortSolution(sol *Solution) {
-	for i := 1; i < len(sol.Deleted); i++ {
-		for j := i; j > 0 && sol.Deleted[j].Key() < sol.Deleted[j-1].Key(); j-- {
-			sol.Deleted[j], sol.Deleted[j-1] = sol.Deleted[j-1], sol.Deleted[j]
-		}
-	}
+	sort.Slice(sol.Deleted, func(i, j int) bool {
+		return sol.Deleted[i].Key() < sol.Deleted[j].Key()
+	})
 }

@@ -1,0 +1,59 @@
+package cq
+
+import (
+	"testing"
+
+	"delprop/internal/relation"
+)
+
+// These tests pin down output determinism in code paths that iterate
+// over maps; delproplint's mapdet analyzer enforces the invariant
+// statically, and these assert the user-visible consequence.
+
+// TestHomomorphismStringDeterministic asserts that Homomorphism.String
+// lists variables in sorted order, independent of map iteration order.
+func TestHomomorphismStringDeterministic(t *testing.T) {
+	h := Homomorphism{
+		"z": C("p"),
+		"a": V("q"),
+		"m": C("r"),
+		"b": V("s"),
+	}
+	const want = "{a↦q, b↦s, m↦'r', z↦'p'}"
+	for i := 0; i < 50; i++ {
+		if got := h.String(); got != want {
+			t.Fatalf("iteration %d: String() = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestYannakakisDeterministic asserts that repeated Yannakakis
+// evaluations render identically: the reduced instance is rebuilt from a
+// per-relation map, so without sorted iteration the result formatting
+// could vary between runs.
+func TestYannakakisDeterministic(t *testing.T) {
+	db := relation.NewInstance(
+		relation.MustSchema("R", []string{"a", "b"}, []int{0, 1}),
+		relation.MustSchema("S", []string{"b", "c"}, []int{0, 1}),
+		relation.MustSchema("U", []string{"c", "d"}, []int{0, 1}),
+	)
+	for _, r := range [][2]string{{"1", "2"}, {"2", "3"}, {"3", "4"}} {
+		db.MustInsert("R", r[0], r[1])
+		db.MustInsert("S", r[0], r[1])
+		db.MustInsert("U", r[0], r[1])
+	}
+	q := MustParse("Q(a, b, c, d) :- R(a, b), S(b, c), U(c, d)")
+	first, err := EvaluateYannakakis(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		res, err := EvaluateYannakakis(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.String(), first.String(); got != want {
+			t.Fatalf("run %d: result %q differs from first run %q", i, got, want)
+		}
+	}
+}

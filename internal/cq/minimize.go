@@ -2,6 +2,7 @@ package cq
 
 import (
 	"fmt"
+	"sort"
 )
 
 // This file implements the Chandra–Merlin machinery the paper's complexity
@@ -185,10 +186,6 @@ func sortedKeys(h Homomorphism) []string {
 	for k := range h {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }

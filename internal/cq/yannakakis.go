@@ -136,7 +136,15 @@ func EvaluateYannakakis(q *Query, db *relation.Instance) (*Result, error) {
 	for _, nd := range nodes {
 		byRel[nd.atom.Relation] = append(byRel[nd.atom.Relation], nd.rows...)
 	}
-	for rel, rows := range byRel {
+	// Rebuild relations in sorted name order so the reduced instance's
+	// layout (and anything that formats it) is reproducible.
+	rels := make([]string, 0, len(byRel))
+	for rel := range byRel {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		rows := byRel[rel]
 		schema := db.Relation(rel).Schema()
 		r := reduced.AddRelation(schema)
 		seen := make(map[string]bool)

@@ -103,10 +103,10 @@ func (p *PNPSCInstance) ToRedBlue() (*Instance, func(Solution) Solution) {
 		NumBlue: p.NumPos,
 	}
 	inst.RedWeights = make([]float64, inst.NumRed)
-	for n := 0; n < p.NumNeg; n++ {
+	for n := range inst.RedWeights[:p.NumNeg] {
 		inst.RedWeights[n] = p.NegWeight(n)
 	}
-	for i := 0; i < p.NumPos; i++ {
+	for i := range inst.RedWeights[p.NumNeg:] {
 		inst.RedWeights[p.NumNeg+i] = p.PosWeight(i)
 	}
 	for _, s := range p.Sets {
@@ -117,7 +117,7 @@ func (p *PNPSCInstance) ToRedBlue() (*Instance, func(Solution) Solution) {
 		})
 	}
 	nOrig := len(p.Sets)
-	for i := 0; i < p.NumPos; i++ {
+	for i := range inst.RedWeights[p.NumNeg:] {
 		inst.Sets = append(inst.Sets, Set{
 			Name:  fmt.Sprintf("slack_%d", i),
 			Reds:  []int{p.NumNeg + i},

@@ -382,7 +382,7 @@ func (inst *Instance) ExactRecorded(ctx context.Context, maxSets int, rec Search
 		}
 		// Branch on the uncovered blue with the fewest covering sets.
 		pick, pickDeg := -1, math.MaxInt32
-		for b := 0; b < inst.NumBlue; b++ {
+		for b := range coveredBlue {
 			if coveredBlue[b] == 0 && len(cov[b]) < pickDeg {
 				pick, pickDeg = b, len(cov[b])
 			}

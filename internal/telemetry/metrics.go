@@ -157,7 +157,10 @@ type family struct {
 
 // Registry holds metric families and renders them in the Prometheus text
 // exposition format. Lookup takes a read lock; the returned handles are
-// lock-free, so callers on hot paths should cache them.
+// lock-free, so callers on hot paths should cache them. A nil *Registry
+// is a valid no-op sink.
+//
+//delprop:nilsafe
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family

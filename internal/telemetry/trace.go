@@ -8,6 +8,8 @@ import (
 // Tracer records traces — one per solve lifecycle — into a fixed-size
 // ring buffer of the most recent finished traces. A nil *Tracer is a
 // valid no-op tracer, so instrumented code needs no guards.
+//
+//delprop:nilsafe
 type Tracer struct {
 	mu     sync.Mutex
 	cap    int
@@ -28,7 +30,10 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Trace is one in-flight or finished trace: a named operation with
-// attributes and an ordered list of phase spans.
+// attributes and an ordered list of phase spans. A nil *Trace (from a
+// nil Tracer) is a valid no-op.
+//
+//delprop:nilsafe
 type Trace struct {
 	tracer *Tracer
 

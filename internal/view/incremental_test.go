@@ -2,6 +2,7 @@ package view
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"delprop/internal/cq"
@@ -107,6 +108,7 @@ func TestMaintainerMatchesReEvaluation(t *testing.T) {
 		for _, d := range deleted {
 			delList = append(delList, d)
 		}
+		sort.Slice(delList, func(i, j int) bool { return delList[i].Key() < delList[j].Key() })
 		db2 := db.Without(delList)
 		for _, v := range views {
 			res2 := cq.MustEvaluate(v.Query, db2)

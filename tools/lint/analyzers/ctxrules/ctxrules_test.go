@@ -1,0 +1,13 @@
+package ctxrules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/ctxrules"
+)
+
+func TestCtxRules(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), ctxrules.Analyzer)
+}

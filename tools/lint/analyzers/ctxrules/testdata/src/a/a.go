@@ -1,0 +1,104 @@
+// Package a exercises the ctxrules analyzer: context placement and
+// errors.As discipline.
+package a
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// Interrupted mimics core.Interrupted.
+type Interrupted struct{ Solver string }
+
+func (e *Interrupted) Error() string { return "interrupted: " + e.Solver }
+
+// TimeoutErr is a second concrete error for the type-switch case.
+type TimeoutErr struct{}
+
+func (TimeoutErr) Error() string { return "timeout" }
+
+// Good has ctx first.
+func Good(ctx context.Context, n int) error { return ctx.Err() }
+
+// Late buries the context.
+func Late(n int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+// lateLit checks function literals too.
+var lateLit = func(n int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+// goodLit is fine.
+var goodLit = func(ctx context.Context, n int) error { return ctx.Err() }
+
+// Request stores a context.
+type Request struct {
+	ctx  context.Context // want `do not store context.Context in a struct`
+	name string
+}
+
+// Job passes contexts per call instead: ok.
+type Job struct {
+	name   string
+	cancel context.CancelFunc // a CancelFunc field is fine; only Context is banned
+}
+
+// Inspect uses a direct assertion on an error value.
+func Inspect(err error) string {
+	if ie, ok := err.(*Interrupted); ok { // want `direct type assertion on an error misses wrapped errors; use errors.As`
+		return ie.Solver
+	}
+	return ""
+}
+
+// InspectAs matches wrapped errors: ok.
+func InspectAs(err error) string {
+	var ie *Interrupted
+	if errors.As(err, &ie) {
+		return ie.Solver
+	}
+	return ""
+}
+
+// Classify type-switches an error into concrete cases.
+func Classify(err error) int {
+	switch err.(type) {
+	case *Interrupted: // want `type switch on an error misses wrapped errors; use errors.As`
+		return 1
+	case TimeoutErr: // want `type switch on an error misses wrapped errors; use errors.As`
+		return 2
+	case nil:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// Narrow narrows to another interface, which errors.As cannot replace
+// for behavioral checks: ok.
+func Narrow(err error) bool {
+	type temporary interface{ Temporary() bool }
+	if t, ok := err.(temporary); ok {
+		return t.Temporary()
+	}
+	return false
+}
+
+// NotAnError asserts on a plain any value: ok.
+func NotAnError(v any) (io.Reader, bool) {
+	r, ok := v.(io.Reader)
+	return r, ok
+}
+
+// AnySwitch switches on any: ok even with error-ish cases.
+func AnySwitch(v any) int {
+	switch v.(type) {
+	case *Interrupted:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,13 @@
+package mapdet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/mapdet"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), mapdet.Analyzer)
+}

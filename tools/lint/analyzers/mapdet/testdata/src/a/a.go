@@ -1,0 +1,150 @@
+// Package a exercises the mapdet analyzer: map iteration order must not
+// leak into slices or output streams.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Leak returns a slice in random map order.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended to in map iteration order`
+	}
+	return out
+}
+
+// Sorted collects then sorts: ok.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceSorted uses sort.Slice on a struct slice: ok.
+func SliceSorted(m map[string]int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+type byKey []kv
+
+func (b byKey) Len() int           { return len(b) }
+func (b byKey) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+func (b byKey) Less(i, j int) bool { return b[i].k < b[j].k }
+
+// ConvSorted sorts through a sort.Interface conversion: ok.
+func ConvSorted(m map[string]int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Sort(byKey(out))
+	return out
+}
+
+// Emit writes during iteration.
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf called while ranging over a map emits output in random order`
+	}
+}
+
+// EmitSorted iterates sorted keys: ok (the emitting range is over a
+// slice, not a map).
+func EmitSorted(w io.Writer, m map[string]int) {
+	keys := Sorted(m)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// EmitWriter calls Write on an io.Writer implementation directly.
+func EmitWriter(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		w.Write(v) // want `Write called while ranging over a map emits output in random order`
+	}
+}
+
+// tuple is a domain type whose Encode produces a string, not output.
+type tuple struct{ vals []string }
+
+func (t tuple) Encode() string {
+	out := ""
+	for _, v := range t.vals {
+		out += "|" + v
+	}
+	return out
+}
+
+// EncodeTuples calls a domain Encode method: not an output sink, ok.
+func EncodeTuples(m map[string]tuple) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, t := range m {
+		out[k] = t.Encode()
+	}
+	return out
+}
+
+// Tally accumulates a scalar: order-independent, ok.
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert builds a map from a map: order-independent, ok.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// PerIteration appends to a slice scoped inside the loop body: ok.
+func PerIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// RangeSlice ranges over a slice: never flagged.
+func RangeSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Justified keeps insertion order irrelevant and says why.
+func Justified(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore mapdet out feeds a set-equality assertion; order is never observed
+		out = append(out, k)
+	}
+	return out
+}

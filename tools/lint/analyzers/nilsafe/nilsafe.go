@@ -1,0 +1,335 @@
+// Package nilsafe verifies the nil-receiver contract of the repo's
+// no-op-when-absent instrumentation types.
+//
+// core.Stats, telemetry.Tracer/Trace and the telemetry.Registry handle
+// all promise "a nil receiver is a valid no-op", so solver hot paths
+// carry no `if st != nil` guards. The contract is opt-in per type via a
+// directive comment on the type declaration:
+//
+//	//delprop:nilsafe
+//	type Stats struct { ... }
+//
+// Every exported method of a marked type must then dereference its
+// receiver only behind a nil guard: after an early-return
+// `if recv == nil { return … }`, or inside an `if recv != nil { … }`
+// branch. Pure delegation (calling other pointer-receiver methods on
+// the receiver) is safe on a nil pointer and needs no guard.
+// Value-receiver methods are flagged outright: calling one through a
+// nil pointer dereferences at the call site.
+package nilsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"delprop/tools/lint/analysis"
+)
+
+// Analyzer implements the nilsafe checks.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc:  "methods of //delprop:nilsafe types must guard nil-receiver dereferences",
+	URL:  "docs/STATIC_ANALYSIS.md#nilsafe",
+	Run:  run,
+}
+
+// Directive is the comment marking a type as nil-safe.
+const Directive = "//delprop:nilsafe"
+
+func run(pass *analysis.Pass) (any, error) {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			ptr, isPtr := types.Unalias(recvType).(*types.Pointer)
+			if !isPtr {
+				if named := namedOf(recvType); named != nil && marked[named.Obj()] {
+					pass.ReportRangef(fd.Name, "nil-safe type %s must not declare value-receiver methods: calling %s through a nil pointer panics at the call site", named.Obj().Name(), fd.Name.Name)
+				}
+				continue
+			}
+			named := namedOf(ptr.Elem())
+			if named == nil || !marked[named.Obj()] {
+				continue
+			}
+			checkMethod(pass, fd, named.Obj().Name())
+		}
+	}
+	return nil, nil
+}
+
+// markedTypes collects type names in this package whose declaration
+// carries the //delprop:nilsafe directive.
+func markedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc) && !hasDirective(ts.Doc) && !hasDirective(ts.Comment) {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					marked[obj] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMethod verifies one exported pointer-receiver method of a marked
+// type.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, typeName string) {
+	if fd.Body == nil {
+		return
+	}
+	recv := receiverObject(pass, fd)
+	if recv == nil {
+		// Anonymous receiver `func (*Stats) M()` cannot dereference.
+		return
+	}
+	w := &walker{pass: pass, recv: recv}
+	if deref := w.stmts(fd.Body.List); deref != nil {
+		pass.ReportRangef(fd.Name, "method %s.%s dereferences its receiver outside a nil guard; the type is marked %s", typeName, fd.Name.Name, Directive)
+	}
+}
+
+func receiverObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.Defs[names[0]]
+}
+
+// walker scans statements for receiver dereferences, with guard flow:
+// an early-exit `if recv == nil { …; return/panic }` protects everything
+// after it in the same list; an `if recv != nil` body and the nil-side
+// branches are never scanned (the former is guarded, the latter is the
+// author's explicit nil path).
+type walker struct {
+	pass *analysis.Pass
+	recv types.Object
+}
+
+type guardKind int
+
+const (
+	guardNone   guardKind = iota
+	guardEqNil            // recv == nil [|| …]
+	guardNeqNil           // recv != nil [&& …]
+)
+
+// stmts scans a statement list in order; it returns the first unguarded
+// dereference, or nil.
+func (w *walker) stmts(list []ast.Stmt) ast.Node {
+	for _, st := range list {
+		ifs, ok := st.(*ast.IfStmt)
+		if !ok {
+			if d := w.node(st); d != nil {
+				return d
+			}
+			continue
+		}
+		if ifs.Init != nil {
+			if d := w.node(ifs.Init); d != nil {
+				return d
+			}
+		}
+		switch w.guardKind(ifs.Cond) {
+		case guardEqNil:
+			// Body runs with recv provably nil: any dereference there is
+			// a guaranteed panic. Else runs with recv non-nil (guarded).
+			// If the nil path leaves the function, the rest of this list
+			// is guarded too.
+			if d := w.stmts(ifs.Body.List); d != nil {
+				return d
+			}
+			if ifs.Else == nil && terminates(ifs.Body) {
+				return nil
+			}
+		case guardNeqNil:
+			// Body is guarded; Else runs with recv provably nil.
+			if ifs.Else != nil {
+				if d := w.elseBranch(ifs.Else); d != nil {
+					return d
+				}
+			}
+		default:
+			if d := w.node(ifs.Cond); d != nil {
+				return d
+			}
+			if d := w.stmts(ifs.Body.List); d != nil {
+				return d
+			}
+			if ifs.Else != nil {
+				if d := w.elseBranch(ifs.Else); d != nil {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (w *walker) elseBranch(s ast.Stmt) ast.Node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.IfStmt:
+		return w.stmts([]ast.Stmt{s})
+	}
+	return w.node(s)
+}
+
+// node scans an arbitrary statement or expression subtree, recursing
+// into nested blocks through stmts so inner guards keep working.
+func (w *walker) node(n ast.Node) ast.Node {
+	var found ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.BlockStmt:
+			found = w.stmts(x.List)
+			return false
+		case *ast.SelectorExpr:
+			if w.isDeref(x) {
+				found = x
+			}
+			return true
+		case *ast.StarExpr:
+			if w.isRecv(x.X) {
+				found = x
+			}
+			return true
+		}
+		return true
+	})
+	return found
+}
+
+// isDeref reports whether sel dereferences the receiver: a field access,
+// or a value-receiver method call (which auto-dereferences).
+func (w *walker) isDeref(sel *ast.SelectorExpr) bool {
+	if !w.isRecv(sel.X) {
+		return false
+	}
+	s := w.pass.TypesInfo.Selections[sel]
+	if s == nil {
+		return false
+	}
+	switch s.Kind() {
+	case types.FieldVal:
+		return true
+	case types.MethodVal:
+		if fn, ok := s.Obj().(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				_, ptrRecv := types.Unalias(sig.Recv().Type()).(*types.Pointer)
+				return !ptrRecv
+			}
+		}
+	}
+	return false
+}
+
+func (w *walker) isRecv(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && w.pass.TypesInfo.Uses[id] == w.recv
+}
+
+// guardKind classifies a condition as a receiver nil guard, looking
+// through short-circuit chains whose first operand is the guard
+// (`recv == nil || …`, `recv != nil && …`).
+func (w *walker) guardKind(cond ast.Expr) guardKind {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return guardNone
+	}
+	switch bin.Op {
+	case token.LOR:
+		if w.guardKind(bin.X) == guardEqNil {
+			return guardEqNil
+		}
+		return guardNone
+	case token.LAND:
+		if w.guardKind(bin.X) == guardNeqNil {
+			return guardNeqNil
+		}
+		return guardNone
+	case token.EQL, token.NEQ:
+		var other ast.Expr
+		switch {
+		case w.isRecv(bin.X):
+			other = bin.Y
+		case w.isRecv(bin.Y):
+			other = bin.X
+		default:
+			return guardNone
+		}
+		if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+			return guardNone
+		}
+		if bin.Op == token.EQL {
+			return guardEqNil
+		}
+		return guardNeqNil
+	}
+	return guardNone
+}
+
+// terminates reports whether a block's execution cannot fall through:
+// its last statement is a return, a panic, or an unconditional branch.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.GOTO || last.Tok == token.BREAK || last.Tok == token.CONTINUE
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}

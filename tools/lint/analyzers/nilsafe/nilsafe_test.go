@@ -1,0 +1,13 @@
+package nilsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/nilsafe"
+)
+
+func TestNilSafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), nilsafe.Analyzer)
+}

@@ -1,0 +1,106 @@
+// Package a exercises the nilsafe analyzer: exported methods of types
+// marked //delprop:nilsafe must guard receiver dereferences.
+package a
+
+import "sync"
+
+//delprop:nilsafe
+type Stats struct {
+	mu     sync.Mutex
+	n      int64
+	events []int
+}
+
+// Add wraps the whole body in a non-nil guard: ok.
+func (s *Stats) Add(n int64) {
+	if s != nil {
+		s.n += n
+	}
+}
+
+// Snapshot uses the early-return guard: ok.
+func (s *Stats) Snapshot() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Record forgets the guard entirely.
+func (s *Stats) Record(v int) { // want `method Stats.Record dereferences its receiver outside a nil guard`
+	s.events = append(s.events, v)
+}
+
+// Lock dereferences before its guard.
+func (s *Stats) Lock() { // want `method Stats.Lock dereferences its receiver outside a nil guard`
+	s.mu.Lock()
+	if s == nil {
+		return
+	}
+}
+
+// Tick guards with an early return that does not terminate the method.
+func (s *Stats) Tick() { // want `method Stats.Tick dereferences its receiver outside a nil guard`
+	if s == nil {
+		_ = 0
+	}
+	s.n++
+}
+
+// Delegate only calls pointer-receiver methods: safe on nil, no guard
+// needed.
+func (s *Stats) Delegate(n int64) { s.Add(n) }
+
+// Value never touches the receiver: ok.
+func (s *Stats) Value() int64 { return 0 }
+
+// Chained guards through short-circuit conditions: ok.
+func (s *Stats) Busy() bool {
+	if s == nil || len(s.events) == 0 {
+		return false
+	}
+	return s.n > 0
+}
+
+// Count is a value-receiver method on a nil-safe type.
+func (s Stats) Count() int { // want `nil-safe type Stats must not declare value-receiver methods`
+	return len(s.events)
+}
+
+// reset is unexported: outside the public nil-safety contract.
+func (s *Stats) reset() {
+	s.n = 0
+}
+
+// Unmarked types are never checked.
+type Plain struct{ n int }
+
+func (p *Plain) Bump() { p.n++ }
+
+//delprop:nilsafe
+type Tracer struct {
+	mu   sync.Mutex
+	ring []int
+}
+
+// Push guards late but correctly: every dereference sits inside the
+// non-nil branch.
+func (t *Tracer) Push(v int) {
+	x := v * 2
+	if t != nil {
+		t.mu.Lock()
+		t.ring = append(t.ring, x)
+		t.mu.Unlock()
+	}
+}
+
+// Pop dereferences in the else branch of a nil guard.
+func (t *Tracer) Pop() int { // want `method Tracer.Pop dereferences its receiver outside a nil guard`
+	if t != nil {
+		return 0
+	} else {
+		return t.ring[0]
+	}
+}

@@ -1,0 +1,17 @@
+package solveloop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/solveloop"
+)
+
+func TestSolveGraph(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), solveloop.Analyzer)
+}
+
+func TestEntryPackages(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "entry"), solveloop.Analyzer)
+}

@@ -1,0 +1,133 @@
+// Package a exercises the solveloop analyzer: loops in Solve call
+// graphs must poll their context.
+package a
+
+import "context"
+
+type Problem struct{ n int }
+type Solution struct{ cost int }
+
+type Stats struct{ checkpoints int64 }
+
+func (s *Stats) Checkpoint() {
+	if s != nil {
+		s.checkpoints++
+	}
+}
+
+func checkCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Spinner's Solve has the canonical violations.
+type Spinner struct{}
+
+func (s *Spinner) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	for { // want `infinite for loop in the Solve call graph of Solve has no cancellation checkpoint`
+		if p.n == 0 {
+			break
+		}
+		p.n--
+	}
+	i := 0
+	for i < p.n { // want `unbounded for loop in the Solve call graph of Solve has no cancellation checkpoint`
+		i++
+	}
+	for mask := 0; mask < 1<<p.n; mask++ { // want `unbounded for loop in the Solve call graph of Solve has no cancellation checkpoint`
+		i += mask
+	}
+	helperLoop(p)
+	return &Solution{cost: i}, nil
+}
+
+// helperLoop is reached from Solve, so its loops are checked too.
+func helperLoop(p *Problem) {
+	for { // want `infinite for loop in the Solve call graph of helperLoop has no cancellation checkpoint`
+		if p.n > 0 {
+			return
+		}
+	}
+}
+
+// Polite's Solve shows every accepted checkpoint form.
+type Polite struct{}
+
+func (s *Polite) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	st := &Stats{}
+	for { // ok: method named Checkpoint
+		st.Checkpoint()
+		if p.n == 0 {
+			break
+		}
+	}
+	for p.n > 0 { // ok: checkCtx call
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		p.n--
+	}
+	for mask := 0; mask < 1<<p.n; mask++ { // ok: ctx.Err poll
+		if mask%1024 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	for { // ok: forwards ctx to a callee
+		if err := sub(ctx, p); err != nil {
+			return nil, err
+		}
+		break
+	}
+	for i := 0; i < 8; i++ { // ok: constant bound
+		p.n += i
+	}
+	xs := make([]int, p.n)
+	for i := 0; i < len(xs); i++ { // ok: len-bounded sweep
+		xs[i] = i
+	}
+	for _, x := range xs { // ok: range loops are one pass over data
+		p.n += x
+	}
+	return &Solution{}, nil
+}
+
+func sub(ctx context.Context, p *Problem) error { return checkCtx(ctx) }
+
+// NotASolver is outside any Solve call graph: nothing is flagged.
+type NotASolver struct{}
+
+func (n *NotASolver) Run(p *Problem) {
+	for {
+		if p.n == 0 {
+			return
+		}
+		p.n--
+	}
+}
+
+// Solve without a leading context is not a solver entry point.
+type Ctxless struct{}
+
+func (c *Ctxless) Solve(p *Problem) {
+	for {
+		if p.n == 0 {
+			return
+		}
+		p.n--
+	}
+}
+
+// Suppressed shows the escape hatch for a justified violation.
+type Suppressed struct{}
+
+func (s *Suppressed) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	//lint:ignore solveloop bounded by p.n which callers cap at 64
+	for i := 0; i < p.n; i++ {
+		_ = i
+	}
+	return &Solution{}, nil
+}

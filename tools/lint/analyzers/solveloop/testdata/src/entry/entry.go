@@ -1,0 +1,42 @@
+// Package setcover exercises the -entry package roots: every exported
+// context-taking function here is a solve entry point even without the
+// Solve name.
+package setcover
+
+import "context"
+
+// ExactRecorded is an entry point by package + export + ctx parameter.
+func ExactRecorded(ctx context.Context, n int) int {
+	best := 0
+	for { // want `infinite for loop in the Solve call graph of ExactRecorded has no cancellation checkpoint`
+		if best >= n {
+			break
+		}
+		best++
+	}
+	return best
+}
+
+// Greedy polls properly.
+func Greedy(ctx context.Context, n int) int {
+	got := 0
+	for got < n { // ok: ctx.Done poll
+		select {
+		case <-ctx.Done():
+			return got
+		default:
+		}
+		got++
+	}
+	return got
+}
+
+// lowerBound is unexported and unreached: not an entry point.
+func lowerBound(n int) int {
+	for {
+		if n <= 1 {
+			return n
+		}
+		n /= 2
+	}
+}

@@ -1,0 +1,3 @@
+module delprop/internal/setcover
+
+go 1.22

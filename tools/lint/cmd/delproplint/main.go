@@ -1,0 +1,30 @@
+// Command delproplint is the delprop repository's vet suite: it
+// mechanically enforces the solver-stack invariants documented in
+// docs/STATIC_ANALYSIS.md.
+//
+// Run standalone over the module in the current directory:
+//
+//	delproplint ./...
+//
+// or as a vet tool, which also covers test files:
+//
+//	go vet -vettool=$(command -v delproplint) ./...
+package main
+
+import (
+	"delprop/tools/lint/analysis"
+	"delprop/tools/lint/analyzers/ctxrules"
+	"delprop/tools/lint/analyzers/mapdet"
+	"delprop/tools/lint/analyzers/nilsafe"
+	"delprop/tools/lint/analyzers/solveloop"
+	"delprop/tools/lint/internal/checker"
+)
+
+func main() {
+	checker.Main([]*analysis.Analyzer{
+		ctxrules.Analyzer,
+		mapdet.Analyzer,
+		nilsafe.Analyzer,
+		solveloop.Analyzer,
+	}...)
+}

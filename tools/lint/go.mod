@@ -1,0 +1,3 @@
+module delprop/tools/lint
+
+go 1.22

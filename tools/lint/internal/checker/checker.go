@@ -1,0 +1,146 @@
+// Package checker runs delproplint analyzers over loaded packages,
+// applies //lint:ignore suppression, and implements both driver modes of
+// cmd/delproplint (standalone patterns and the `go vet -vettool`
+// unitchecker protocol).
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"delprop/tools/lint/analysis"
+	"delprop/tools/lint/internal/load"
+)
+
+// Finding is one diagnostic bound to its analyzer and resolved position.
+type Finding struct {
+	Analyzer *analysis.Analyzer
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	msg := fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer.Name)
+	if f.Analyzer.URL != "" {
+		msg += " (" + f.Analyzer.URL + ")"
+	}
+	return msg
+}
+
+// Run applies each analyzer to pkg and returns the surviving findings,
+// ordered by position. Diagnostics on lines governed by a matching
+// //lint:ignore directive are dropped; directives without a
+// justification are themselves reported.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ignores, bad := collectIgnores(pkg)
+
+	var findings []Finding
+	findings = append(findings, bad...)
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.match(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer.Name < b.Analyzer.Name
+	})
+	return findings, nil
+}
+
+// ignoreDirective is the parsed form of
+//
+//	//lint:ignore analyzer[,analyzer...] justification
+//
+// It suppresses matching diagnostics on its own line and on the line
+// immediately below (so it can trail the offending statement or sit on
+// its own line above it).
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+type ignoreSet []ignoreDirective
+
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	for _, d := range s {
+		if d.file != pos.Filename {
+			continue
+		}
+		if pos.Line != d.line && pos.Line != d.line+1 {
+			continue
+		}
+		for _, a := range d.analyzers {
+			if a == analyzer || a == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// badDirectiveAnalyzer attributes findings about malformed directives.
+var badDirectiveAnalyzer = &analysis.Analyzer{
+	Name: "lintdirective",
+	Doc:  "reports //lint:ignore directives without a justification",
+	URL:  "docs/STATIC_ANALYSIS.md#suppressing-findings",
+}
+
+func collectIgnores(pkg *load.Package) (ignoreSet, []Finding) {
+	var set ignoreSet
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 3 {
+					bad = append(bad, Finding{
+						Analyzer: badDirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: need an analyzer name and a justification",
+					})
+					continue
+				}
+				set = append(set, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[1], ","),
+				})
+			}
+		}
+	}
+	return set, bad
+}

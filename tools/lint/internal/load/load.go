@@ -1,0 +1,177 @@
+// Package load type-checks Go packages for the delproplint analyzers
+// without depending on golang.org/x/tools. Two loaders are provided:
+//
+//   - Patterns shells out to `go list -export -deps -json`, parses the
+//     target packages from source and resolves imports through the
+//     compiler export data the go command just produced. This powers the
+//     standalone `delproplint ./...` mode and the analysistest harness.
+//   - VetCfg speaks the `go vet -vettool` unitchecker protocol: it reads
+//     the JSON config file the go command hands the tool for each
+//     package and type-checks from the file lists therein.
+//
+// Both produce the same *Package, so the checker and the analyzers are
+// oblivious to how the package was loaded.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds type-checking problems. Analysis still runs on
+	// partially-checked packages, but drivers surface these.
+	TypeErrors []error
+}
+
+// newInfo allocates a types.Info with every map analyzers may consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct {
+		Err string
+	}
+}
+
+// Patterns loads the packages matching patterns, with dir as the working
+// directory for the go command (the module root or any directory below
+// it).
+func Patterns(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		all = append(all, lp)
+	}
+
+	// Export data index for import resolution, over every listed package
+	// (deps included).
+	exports := make(map[string]string)
+	for _, lp := range all {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range all {
+		if lp.DepOnly || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, join(lp.Dir, f))
+		}
+		pkg, err := check(lp.ImportPath, files, lp.ImportMap, exports, "")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func join(dir, file string) string {
+	if strings.HasPrefix(file, "/") {
+		return file
+	}
+	return dir + string(os.PathSeparator) + file
+}
+
+// check parses files and type-checks them as package path, resolving
+// imports via the export-data index (importMap maps source import strings
+// to canonical import paths; identity when absent). goVersion, when
+// non-empty, pins the language version ("go1.22").
+func check(path string, files []string, importMap map[string]string, exports map[string]string, goVersion string) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+
+	lookup := func(imp string) (io.ReadCloser, error) {
+		canon := imp
+		if m, ok := importMap[imp]; ok {
+			canon = m
+		}
+		exp, ok := exports[canon]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", canon)
+		}
+		return os.Open(exp)
+	}
+
+	pkg := &Package{ImportPath: path, Fset: fset, Files: parsed, Info: newInfo()}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		Error:     func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, parsed, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}

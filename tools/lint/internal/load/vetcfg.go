@@ -1,0 +1,53 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration file the go command passes to
+// a -vettool for each package (see cmd/go/internal/work.buildVetConfig
+// and x/tools' unitchecker.Config). Field names must match exactly.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses the vet config file at path.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// VetCfg type-checks the package described by a vet config. The go
+// command has already compiled every dependency; cfg.PackageFile maps
+// canonical import paths to the archives holding their export data.
+func VetCfg(cfg *VetConfig) (*Package, error) {
+	if cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+	return check(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile, cfg.GoVersion)
+}
