@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
 
 all: build test
 
@@ -27,6 +27,19 @@ bench:
 # Regenerate every paper table/figure/theorem experiment (E1..E18).
 experiments:
 	$(GO) run ./cmd/benchrunner
+
+# Structured benchmark capture: run every experiment BENCH_REPEAT times
+# and write a versioned BENCH JSON (internal/benchkit schema; see
+# docs/OBSERVABILITY.md "Benchmark capture & regression workflow").
+BENCH_REPEAT ?= 5
+bench-json:
+	mkdir -p out
+	$(GO) run ./cmd/benchrunner -json out/BENCH_local.json -repeat $(BENCH_REPEAT)
+
+# Compare a fresh capture against the committed baseline: exits nonzero
+# on significant latency regressions or any guarantee-ratio violation.
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff bench/baseline.json out/BENCH_local.json
 
 fuzz:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/cq/

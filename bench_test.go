@@ -33,7 +33,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard); err != nil {
+		if err := e.Run(io.Discard, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

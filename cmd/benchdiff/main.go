@@ -1,0 +1,75 @@
+// Command benchdiff compares two benchkit captures (BENCH_*.json files
+// written by benchrunner -json) and gates on regressions: a benchstat-like
+// table of per-experiment median shifts with Mann–Whitney significance,
+// failing on statistically significant slowdowns and on any
+// guarantee-ratio violation in the new capture.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -alpha 0.01 -min-delta 0.2 old.json new.json
+//	benchdiff -latency-gate=false old.json new.json   # CI: ratios only
+//
+// Exit codes: 0 clean, 1 gated regression or ratio violation, 2 usage or
+// I/O error. Quality violations always fail — they are correctness bugs,
+// not performance noise — so -latency-gate=false still exits 1 on them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"delprop/internal/benchkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alpha := fs.Float64("alpha", benchkit.DefaultAlpha, "Mann–Whitney significance level")
+	minDelta := fs.Float64("min-delta", benchkit.DefaultMinDelta, "minimum relative median shift to gate on")
+	latencyGate := fs.Bool("latency-gate", true, "fail on significant latency regressions (disable in CI: cross-machine latency is noise)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldC, err := benchkit.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	newC, err := benchkit.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	rep := benchkit.Diff(oldC, newC, benchkit.DiffOptions{Alpha: *alpha, MinDelta: *minDelta})
+	rep.WriteTable(stdout)
+
+	code := 0
+	if regs := rep.Regressions(); len(regs) > 0 && *latencyGate {
+		fmt.Fprintf(stderr, "FAIL: %d experiment(s) regressed:", len(regs))
+		for _, d := range regs {
+			fmt.Fprintf(stderr, " %s (+%.1f%%, p=%.3f)", d.ID, d.Delta*100, d.P)
+		}
+		fmt.Fprintln(stderr)
+		code = 1
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(stderr, "FAIL: %d guarantee-ratio violation(s) in the new capture\n", len(rep.Violations))
+		code = 1
+	}
+	return code
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delprop/internal/benchkit"
+)
+
+// writeCapture writes a capture with the given per-experiment samples to
+// a temp file and returns its path.
+func writeCapture(t *testing.T, name string, samples map[string][]float64, quality map[string][]benchkit.QualityRecord) string {
+	t.Helper()
+	c := benchkit.NewCapture(len(samples))
+	for _, id := range []string{"E1", "E2", "E3"} {
+		s, ok := samples[id]
+		if !ok {
+			continue
+		}
+		e := benchkit.ExperimentResult{ID: id, Artifact: id, WallNs: s, Quality: quality[id]}
+		e.Summarize()
+		c.Experiments = append(c.Experiments, e)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := benchkit.WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var steady = map[string][]float64{
+	"E1": {100, 101, 99, 100, 102, 98, 100, 101, 99, 100},
+	"E2": {50, 51, 49, 50, 52, 48, 50, 51, 49, 50},
+}
+
+func TestCleanComparisonExitsZero(t *testing.T) {
+	oldPath := writeCapture(t, "old.json", steady, nil)
+	newPath := writeCapture(t, "new.json", steady, nil)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E1") || !strings.Contains(out.String(), "E2") {
+		t.Errorf("table missing experiments:\n%s", out.String())
+	}
+}
+
+// TestInflatedLatencyFails is the acceptance check: artificially inflate
+// one experiment's samples and benchdiff must exit nonzero naming it.
+func TestInflatedLatencyFails(t *testing.T) {
+	inflated := map[string][]float64{
+		"E1": steady["E1"],
+		"E2": {200, 201, 199, 200, 202, 198, 200, 201, 199, 200},
+	}
+	oldPath := writeCapture(t, "old.json", steady, nil)
+	newPath := writeCapture(t, "new.json", inflated, nil)
+	var out, errOut bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "E2") {
+		t.Errorf("stderr does not name the regressed experiment:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table does not mark the regression:\n%s", out.String())
+	}
+
+	// The same comparison with the latency gate off (the CI mode) passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-latency-gate=false", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("gate-off exit = %d, stderr:\n%s", code, errOut.String())
+	}
+}
+
+func TestRatioViolationAlwaysFails(t *testing.T) {
+	oldPath := writeCapture(t, "old.json", steady, nil)
+	newPath := writeCapture(t, "new.json", steady, map[string][]benchkit.QualityRecord{
+		"E2": {benchkit.NewQuality("seed=3", "primal-dual", 10, 2, 3)},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-latency-gate=false", oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 (violations gate even with -latency-gate=false)", code)
+	}
+	if !strings.Contains(errOut.String(), "violation") {
+		t.Errorf("stderr does not mention the violation:\n%s", errOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Errorf("missing arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"nope1.json", "nope2.json"}, &out, &errOut); code != 2 {
+		t.Errorf("unreadable files exit = %d, want 2", code)
+	}
+}

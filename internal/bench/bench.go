@@ -6,10 +6,14 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
+
+	"delprop/internal/benchkit"
+	"delprop/internal/core"
 )
 
 // Table is a printable result table.
@@ -84,8 +88,35 @@ type Experiment struct {
 	ID string
 	// Artifact names the paper table/figure/theorem being reproduced.
 	Artifact string
-	// Run executes the experiment, writing its tables to w.
-	Run func(w io.Writer) error
+	// Run executes the experiment, writing its tables to w and reporting
+	// structured samples (search counters, per-instance quality records)
+	// into rec. A nil rec is a valid no-op sink — text-only runs and tests
+	// pass nil.
+	Run func(w io.Writer, rec *benchkit.Recorder) error
+}
+
+// searchCounters converts a solver stats snapshot into the capture-schema
+// counters.
+func searchCounters(snap core.StatsSnapshot) benchkit.SearchCounters {
+	return benchkit.SearchCounters{
+		NodesExpanded:    snap.NodesExpanded,
+		BranchesPruned:   snap.BranchesPruned,
+		Checkpoints:      snap.Checkpoints,
+		IncumbentUpdates: snap.IncumbentUpdates,
+		Restarts:         snap.Restarts,
+	}
+}
+
+// recordedSolve runs one solver with stats instrumentation, feeds the
+// search counters into rec, and returns the solution.
+func recordedSolve(rec *benchkit.Recorder, s core.Solver, p *core.Problem) (*core.Solution, error) {
+	ctx, st := core.WithStats(context.Background())
+	sol, err := s.Solve(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	rec.AddSearch(searchCounters(st.Snapshot()))
+	return sol, nil
 }
 
 // All returns every experiment in DESIGN.md order.

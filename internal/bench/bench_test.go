@@ -2,8 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
+
+	"delprop/internal/benchkit"
 )
 
 func TestTableFprint(t *testing.T) {
@@ -60,7 +63,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf); err != nil {
+			if err := e.Run(&buf, nil); err != nil {
 				t.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
 			}
 			if buf.Len() == 0 {
@@ -73,11 +76,43 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestExperimentsRecordStructuredSamples runs one ratio experiment with a
+// recorder and checks the structured samples arrive: per-instance quality
+// records under the paper guarantee, and nonzero search counters.
+func TestExperimentsRecordStructuredSamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	e, ok := ByID("E8")
+	if !ok {
+		t.Fatal("E8 missing")
+	}
+	rec := &benchkit.Recorder{}
+	if err := e.Run(io.Discard, rec); err != nil {
+		t.Fatal(err)
+	}
+	quality := rec.QualityRecords()
+	if len(quality) == 0 {
+		t.Fatal("E8 recorded no quality records")
+	}
+	for _, q := range quality {
+		if q.Solver != "red-blue" || q.Guarantee <= 0 {
+			t.Errorf("unexpected quality record %+v", q)
+		}
+	}
+	if v := rec.Violations(); len(v) != 0 {
+		t.Errorf("E8 reports guarantee violations: %+v", v)
+	}
+	if s := rec.Search(); s.NodesExpanded == 0 {
+		t.Errorf("E8 recorded no search progress: %+v", s)
+	}
+}
+
 // TestFig3Output asserts the measured hypertree column matches the paper
 // column in the rendered table.
 func TestFig3Output(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runFig3(&buf); err != nil {
+	if err := runFig3(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,11 +1,11 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/core"
 	"delprop/internal/view"
 	"delprop/internal/workload"
@@ -18,7 +18,7 @@ import (
 // against the planted errors. The paper's qualitative claim — "the more
 // queries and its views, the closer we approach the side-effect free
 // solution" — becomes a measurable recall curve in f.
-func runCleaning(w io.Writer) error {
+func runCleaning(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "E15 (extension): planted-error recovery vs feedback completeness",
 		Headers: []string{"feedback fraction", "planted", "marked view tuples", "deleted", "precision", "recall", "side effect"},
@@ -65,7 +65,7 @@ func runCleaning(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			sol, err := (&core.RedBlue{}).Solve(context.Background(), p)
+			sol, err := recordedSolve(rec, &core.RedBlue{}, p)
 			if err != nil {
 				return err
 			}

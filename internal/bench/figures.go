@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/core"
 	"delprop/internal/hypergraph"
 	"delprop/internal/reduction"
@@ -16,14 +17,14 @@ import (
 // runFig1 replays the paper's Section II.C example on the Fig. 1 instance:
 // ΔV = (John, XML) on Q3, minimum view side-effect 1, with the two optimal
 // deletions the paper names.
-func runFig1(w io.Writer) error {
+func runFig1(w io.Writer, rec *benchkit.Recorder) error {
 	wl := workload.Fig1()
 	p, err := core.NewProblem(wl.DB, wl.Queries[:1], nil)
 	if err != nil {
 		return err
 	}
 	p.Delta.Add(view.TupleRef{View: 0, Tuple: relation.Tuple{"John", "XML"}})
-	opt, err := (&core.BruteForce{}).Solve(context.Background(), p)
+	opt, err := recordedSolve(rec, &core.BruteForce{}, p)
 	if err != nil {
 		return err
 	}
@@ -49,6 +50,9 @@ func runFig1(w io.Writer) error {
 	t.Add(opt.String()+" (brute force)", fmt.Sprint(rep.Feasible), fmt.Sprint(rep.SideEffect))
 	t.Fprint(w)
 	fmt.Fprintf(w, "paper: minimum view side-effect = 1; measured optimum = %v\n\n", rep.SideEffect)
+	// The paper states the optimum outright, so it doubles as the lower
+	// bound: exact solvers must certify ratio 1 against it.
+	rec.Quality(benchkit.NewQuality("fig1 ΔV=(John,XML)", "brute-force", rep.SideEffect, 1, 1))
 
 	// Second half of the example: ΔV = (John, TKDE, XML) on the
 	// key-preserving Q4.
@@ -69,7 +73,7 @@ func runFig1(w io.Writer) error {
 
 // runFig2 replays the Fig. 2 reduction and demonstrates Theorem 1's cost
 // preservation on the example and on random instances.
-func runFig2(w io.Writer) error {
+func runFig2(w io.Writer, rec *benchkit.Recorder) error {
 	inst := reduction.Fig2()
 	v, err := reduction.FromRedBlue(inst)
 	if err != nil {
@@ -83,7 +87,7 @@ func runFig2(w io.Writer) error {
 	t.Add("table T", fmt.Sprintf("%d tuples (one per set)", p.DB.Size()))
 	t.Add("views", fmt.Sprintf("%d (Vr1 + Vb1..Vb3), each a single join path", len(p.Views)))
 	t.Add("ΔV", p.Delta.String())
-	opt, err := (&core.BruteForce{}).Solve(context.Background(), p)
+	opt, err := recordedSolve(rec, &core.BruteForce{}, p)
 	if err != nil {
 		return err
 	}
@@ -98,11 +102,14 @@ func runFig2(w io.Writer) error {
 	t.Fprint(w)
 	fmt.Fprintf(w, "cost preservation (Theorem 1): VSE optimum %v == RBSC optimum %v\n\n",
 		rep.SideEffect, inst.Cost(rbOpt))
+	// Theorem 1 preserves cost exactly, so the RBSC optimum is a lower
+	// bound the VSE optimum must meet with ratio 1.
+	rec.Quality(benchkit.NewQuality("fig2 reduction", "brute-force", rep.SideEffect, float64(inst.Cost(rbOpt)), 1))
 	return nil
 }
 
 // runFig3 reproduces the hypertree classification of Fig. 3.
-func runFig3(w io.Writer) error {
+func runFig3(w io.Writer, _ *benchkit.Recorder) error {
 	mk := func(names ...string) *hypergraph.Hypergraph {
 		h := hypergraph.New()
 		edges := map[string]hypergraph.Edge{

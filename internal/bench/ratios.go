@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/core"
 	"delprop/internal/reduction"
 	"delprop/internal/setcover"
@@ -82,7 +83,7 @@ func chainProblem(seed int64, length, queries, span, rows, nDel int) (*core.Prob
 // runClaim1: measured ratio of the red-blue solver against the exact
 // optimum on general (star) multi-query workloads, against the Claim 1
 // bound 2√(l·‖V‖·log‖ΔV‖).
-func runClaim1(w io.Writer) error {
+func runClaim1(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Claim 1: red-blue solver vs optimum on general star workloads",
 		Headers: []string{"queries", "‖V‖ (avg)", "‖ΔV‖", "mean ratio", "max ratio", "bound 2√(l‖V‖log‖ΔV‖)", "zero-opt matched"},
@@ -100,11 +101,11 @@ func runClaim1(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
+				approx, err := recordedSolve(rec, &core.RedBlue{}, p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+				opt, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 				if err != nil {
 					return err
 				}
@@ -114,8 +115,11 @@ func runClaim1(w io.Writer) error {
 				l := float64(p.MaxArity())
 				V := float64(p.TotalViewSize())
 				dV := float64(p.Delta.Len())
+				bound := 2 * math.Sqrt(l*V*math.Log(dV+1))
+				rec.Quality(benchkit.NewQuality(
+					fmt.Sprintf("m=%d ndel=%d seed=%d", m, nDel, seed), "red-blue", a, o, bound))
 				sumV += V
-				sumBound += 2 * math.Sqrt(l*V*math.Log(dV+1))
+				sumBound += bound
 				cnt++
 			}
 			if cnt == 0 {
@@ -131,7 +135,7 @@ func runClaim1(w io.Writer) error {
 }
 
 // runLemma1: balanced solver vs balanced optimum on star workloads.
-func runLemma1(w io.Writer) error {
+func runLemma1(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Lemma 1: balanced red-blue solver vs balanced optimum",
 		Headers: []string{"queries", "‖ΔV‖", "mean ratio", "max ratio", "bound 2√(l(‖V‖+‖ΔV‖)log‖ΔV‖)", "zero-opt matched"},
@@ -149,19 +153,24 @@ func runLemma1(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.BalancedRedBlue{}).Solve(context.Background(), p)
+				approx, err := recordedSolve(rec, &core.BalancedRedBlue{}, p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.BalancedRedBlue{Exact: true}).Solve(context.Background(), p)
+				opt, err := recordedSolve(rec, &core.BalancedRedBlue{Exact: true}, p)
 				if err != nil {
 					return err
 				}
-				stats.add(p.Evaluate(approx).Balanced, p.Evaluate(opt).Balanced)
+				a := p.Evaluate(approx).Balanced
+				o := p.Evaluate(opt).Balanced
+				stats.add(a, o)
 				l := float64(p.MaxArity())
 				V := float64(p.TotalViewSize())
 				dV := float64(p.Delta.Len())
-				sumBound += 2 * math.Sqrt(l*(V+dV)*math.Log(dV+1))
+				bound := 2 * math.Sqrt(l*(V+dV)*math.Log(dV+1))
+				rec.Quality(benchkit.NewQuality(
+					fmt.Sprintf("m=%d ndel=%d seed=%d", m, nDel, seed), "balanced-red-blue", a, o, bound))
+				sumBound += bound
 				cnt++
 			}
 			if cnt == 0 {
@@ -178,7 +187,7 @@ func runLemma1(w io.Writer) error {
 
 // runThm3: primal-dual ratio vs the factor-l guarantee on forest (chain)
 // workloads.
-func runThm3(w io.Writer) error {
+func runThm3(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Theorem 3: primal-dual vs optimum on forest (chain) workloads",
 		Headers: []string{"chain len", "max span", "l (avg)", "mean ratio", "max ratio", "violations of l-bound"},
@@ -196,11 +205,11 @@ func runThm3(w io.Writer) error {
 				if p.Delta.Len() == 0 {
 					continue
 				}
-				approx, err := (&core.PrimalDual{}).Solve(context.Background(), p)
+				approx, err := recordedSolve(rec, &core.PrimalDual{}, p)
 				if err != nil {
 					return err
 				}
-				opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+				opt, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 				if err != nil {
 					return err
 				}
@@ -208,6 +217,8 @@ func runThm3(w io.Writer) error {
 				o := p.Evaluate(opt).SideEffect
 				stats.add(a, o)
 				l := float64(p.MaxArity())
+				rec.Quality(benchkit.NewQuality(
+					fmt.Sprintf("len=%d span=%d seed=%d", length, span, seed), "primal-dual", a, o, l))
 				sumL += l
 				cnt++
 				if o > 0 && a > l*o+1e-9 {
@@ -226,7 +237,7 @@ func runThm3(w io.Writer) error {
 }
 
 // runThm4: low-degree sweep ratio vs the 2√‖V‖ guarantee.
-func runThm4(w io.Writer) error {
+func runThm4(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Theorem 4: low-degree sweep vs optimum on forest (chain) workloads",
 		Headers: []string{"chain len", "‖V‖ (avg)", "mean ratio", "max ratio", "bound 2√‖V‖ (avg)", "violations"},
@@ -243,11 +254,11 @@ func runThm4(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			approx, err := (&core.LowDegTreeTwo{}).Solve(context.Background(), p)
+			approx, err := recordedSolve(rec, &core.LowDegTreeTwo{}, p)
 			if err != nil {
 				return err
 			}
-			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+			opt, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 			if err != nil {
 				return err
 			}
@@ -255,6 +266,8 @@ func runThm4(w io.Writer) error {
 			o := p.Evaluate(opt).SideEffect
 			stats.add(a, o)
 			V := float64(p.TotalViewSize())
+			rec.Quality(benchkit.NewQuality(
+				fmt.Sprintf("len=%d seed=%d", length, seed), "low-deg-two", a, o, 2*math.Sqrt(V)))
 			sumV += V
 			cnt++
 			if o > 0 && a > 2*math.Sqrt(V)*o+1e-9 {
@@ -274,7 +287,7 @@ func runThm4(w io.Writer) error {
 
 // runDPTree: Algorithm 4 exactness against brute force and its polynomial
 // runtime scaling (Proposition 1).
-func runDPTree(w io.Writer) error {
+func runDPTree(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Algorithm 4: DP exactness on pivot workloads",
 		Headers: []string{"roots", "|D|", "‖V‖", "DP == optimum", "DP time", "brute time"},
@@ -291,18 +304,24 @@ func runDPTree(w io.Writer) error {
 				continue
 			}
 			t0 := time.Now()
-			dp, err := (&core.DPTree{}).Solve(context.Background(), p)
+			dp, err := recordedSolve(rec, &core.DPTree{}, p)
 			if err != nil {
 				return err
 			}
 			dpTime := time.Since(t0)
 			t0 = time.Now()
-			bf, err := (&core.BruteForce{}).Solve(context.Background(), p)
+			bf, err := recordedSolve(rec, &core.BruteForce{}, p)
 			if err != nil {
 				return err
 			}
 			bfTime := time.Since(t0)
-			match := p.Evaluate(dp).SideEffect == p.Evaluate(bf).SideEffect
+			dpSE := p.Evaluate(dp).SideEffect
+			bfSE := p.Evaluate(bf).SideEffect
+			match := dpSE == bfSE
+			// Proposition 1 claims exactness: the DP must match the brute
+			// optimum, i.e. guarantee 1.
+			rec.Quality(benchkit.NewQuality(
+				fmt.Sprintf("roots=%d seed=%d", roots, seed), "dp-tree", dpSE, bfSE, 1))
 			t.Add(fmt.Sprint(roots), fmt.Sprint(p.DB.Size()), fmt.Sprint(p.TotalViewSize()),
 				fmt.Sprint(match), dpTime.String(), bfTime.String())
 		}
@@ -350,8 +369,9 @@ func runDPTree(w io.Writer) error {
 // renders wall-clock plus the counters that explain it (n=nodes expanded,
 // p=branches pruned, i=incumbent updates, r=restarts) — the same numbers
 // the server exports on /metrics, so bench rows and production dashboards
-// are directly comparable.
-func timedSolve(s core.Solver, p *core.Problem) string {
+// are directly comparable. The counters also feed rec, so they land in
+// BENCH_*.json captures.
+func timedSolve(rec *benchkit.Recorder, s core.Solver, p *core.Problem) string {
 	ctx, st := core.WithStats(context.Background())
 	t0 := time.Now()
 	if _, err := s.Solve(ctx, p); err != nil {
@@ -359,12 +379,13 @@ func timedSolve(s core.Solver, p *core.Problem) string {
 	}
 	dur := time.Since(t0)
 	snap := st.Snapshot()
+	rec.AddSearch(searchCounters(snap))
 	return fmt.Sprintf("%v [n=%d p=%d i=%d r=%d]",
 		dur, snap.NodesExpanded, snap.BranchesPruned, snap.IncumbentUpdates, snap.Restarts)
 }
 
 // runScalability: wall-clock of every solver across growing databases.
-func runScalability(w io.Writer) error {
+func runScalability(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Scalability: solver wall-clock vs database size (star workloads)",
 		Headers: []string{"rows/rel", "|D|", "‖V‖", "greedy", "red-blue", "primal-dual", "low-deg-two"},
@@ -384,7 +405,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			times = append(times, timedSolve(s, p))
+			times = append(times, timedSolve(rec, s, p))
 		}
 		t.Add(fmt.Sprint(rows), fmt.Sprint(p.DB.Size()), fmt.Sprint(p.TotalViewSize()),
 			times[0], times[1], times[2], times[3])
@@ -412,7 +433,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			times = append(times, timedSolve(s, p))
+			times = append(times, timedSolve(rec, s, p))
 		}
 		t2.Add(fmt.Sprint(m), fmt.Sprint(p.TotalViewSize()), times[0], times[1], times[2], times[3])
 	}
@@ -438,7 +459,7 @@ func runScalability(w io.Writer) error {
 		}
 		times := make([]string, 0, 4)
 		for _, s := range core.ApproxSolvers() {
-			times = append(times, timedSolve(s, p))
+			times = append(times, timedSolve(rec, s, p))
 		}
 		t3.Add(fmt.Sprint(p.Delta.Len()), times[0], times[1], times[2], times[3])
 	}
@@ -450,7 +471,7 @@ func runScalability(w io.Writer) error {
 // inputs, show the approximation gap the inapproximability predicts room
 // for — measured ratio of the polynomial solver against the optimum as the
 // instance grows.
-func runHardnessGap(w io.Writer) error {
+func runHardnessGap(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "Theorems 1–2: approximation gap on reduction-generated instances",
 		Headers: []string{"sets", "reds", "blues", "mean ratio", "max ratio", "zero-opt matched"},
@@ -481,15 +502,21 @@ func runHardnessGap(w io.Writer) error {
 				return err
 			}
 			p := v.Problem
-			approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
+			approx, err := recordedSolve(rec, &core.RedBlue{}, p)
 			if err != nil {
 				return err
 			}
-			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+			opt, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 			if err != nil {
 				return err
 			}
-			stats.add(p.Evaluate(approx).SideEffect, p.Evaluate(opt).SideEffect)
+			a := p.Evaluate(approx).SideEffect
+			o := p.Evaluate(opt).SideEffect
+			stats.add(a, o)
+			// Theorems 1–2 predict room for a gap here, so the record
+			// carries no guarantee (0): the ratio is observed, never gated.
+			rec.Quality(benchkit.NewQuality(
+				fmt.Sprintf("size=%d trial=%d", size, trial), "red-blue", a, o, 0))
 		}
 		t.Add(fmt.Sprint(size), fmt.Sprint(size), fmt.Sprint(size),
 			fmtF(stats.mean()), fmtF(stats.max),

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/core"
 	"delprop/internal/cq"
 	"delprop/internal/relation"
@@ -18,7 +19,7 @@ import (
 // via the bipartite vertex-cover algorithm, while the triangle query (a
 // triad) falls back to exponential search — the dichotomy made visible as
 // wall-clock.
-func runResilience(w io.Writer) error {
+func runResilience(w io.Writer, _ *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "E16 (extension): resilience — triad-free chain vs triangle (triad)",
 		Headers: []string{"rows/rel", "chain |D|", "chain resilience", "chain time", "triangle |D|", "triangle resilience", "triangle time"},

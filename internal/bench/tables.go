@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/classify"
 	"delprop/internal/fd"
 )
@@ -59,18 +60,18 @@ func corpusTable(w io.Writer, table, title string, source bool) error {
 	return nil
 }
 
-func runTable2(w io.Writer) error {
+func runTable2(w io.Writer, _ *benchkit.Recorder) error {
 	return corpusTable(w, "II", "Table II: poly-tractable cases of the source side-effect problem", true)
 }
 
-func runTable3(w io.Writer) error {
+func runTable3(w io.Writer, _ *benchkit.Recorder) error {
 	return corpusTable(w, "III", "Table III: hard cases of the source side-effect problem", true)
 }
 
-func runTable4(w io.Writer) error {
+func runTable4(w io.Writer, _ *benchkit.Recorder) error {
 	return corpusTable(w, "IV", "Table IV: poly-tractable cases of the view side-effect problem", false)
 }
 
-func runTable5(w io.Writer) error {
+func runTable5(w io.Writer, _ *benchkit.Recorder) error {
 	return corpusTable(w, "V", "Table V: hard cases of the view side-effect problem", false)
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
+	"delprop/internal/benchkit"
 	"delprop/internal/core"
 )
 
@@ -16,7 +18,7 @@ import (
 // how the two optima diverge on the same instances: the view-optimal
 // deletion may delete more source tuples, and the source-optimal deletion
 // may destroy more innocent view tuples.
-func runTradeoff(w io.Writer) error {
+func runTradeoff(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title: "E17 (extension): view-optimal vs source-optimal deletions",
 		Headers: []string{
@@ -43,7 +45,7 @@ func runTradeoff(w io.Writer) error {
 			if p.Delta.Len() == 0 {
 				continue
 			}
-			viewSol, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+			viewSol, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 			if err != nil {
 				return err
 			}
@@ -75,7 +77,7 @@ func runTradeoff(w io.Writer) error {
 // solvers must stay well-behaved as queries widen, not just as data grows.
 // This sweeps the maximum query width l (atoms per query) at fixed data
 // size and reports runtime and measured ratio of the red-blue solver.
-func runCombined(w io.Writer) error {
+func runCombined(w io.Writer, rec *benchkit.Recorder) error {
 	t := &Table{
 		Title:   "E18 (extension): combined complexity — solver behaviour vs query width l",
 		Headers: []string{"atoms/query", "l (max arity)", "‖V‖ (avg)", "red-blue time (avg)", "mean ratio", "max ratio"},
@@ -94,18 +96,28 @@ func runCombined(w io.Writer) error {
 				continue
 			}
 			t0 := nowNanos()
-			approx, err := (&core.RedBlue{}).Solve(context.Background(), p)
+			approx, err := recordedSolve(rec, &core.RedBlue{}, p)
 			if err != nil {
 				return err
 			}
 			sumTime += nowNanos() - t0
-			opt, err := (&core.RedBlueExact{}).Solve(context.Background(), p)
+			opt, err := recordedSolve(rec, &core.RedBlueExact{}, p)
 			if err != nil {
 				return err
 			}
-			stats.add(p.Evaluate(approx).SideEffect, p.Evaluate(opt).SideEffect)
-			sumL += float64(p.MaxArity())
-			sumV += float64(p.TotalViewSize())
+			a := p.Evaluate(approx).SideEffect
+			o := p.Evaluate(opt).SideEffect
+			stats.add(a, o)
+			l := float64(p.MaxArity())
+			V := float64(p.TotalViewSize())
+			dV := float64(p.Delta.Len())
+			// Star workloads fall under Claim 1, so its bound applies at
+			// every width.
+			rec.Quality(benchkit.NewQuality(
+				fmt.Sprintf("atoms=%d seed=%d", atoms, seed), "red-blue", a, o,
+				2*math.Sqrt(l*V*math.Log(dV+1))))
+			sumL += l
+			sumV += V
 			cnt++
 		}
 		if cnt == 0 {

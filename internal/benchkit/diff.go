@@ -1,0 +1,158 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// DiffOptions tunes the regression gate.
+type DiffOptions struct {
+	// Alpha is the significance level for the Mann–Whitney test
+	// (DefaultAlpha when zero).
+	Alpha float64
+	// MinDelta is the minimum relative median shift to gate on —
+	// statistically significant but tiny shifts are reported, not failed
+	// (DefaultMinDelta when zero).
+	MinDelta float64
+}
+
+// Gate defaults: benchstat's conventional 0.05 significance, and a 10%
+// median shift floor so scheduler noise on shared CI runners does not
+// flake the gate.
+const (
+	DefaultAlpha    = 0.05
+	DefaultMinDelta = 0.10
+)
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Alpha <= 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.MinDelta <= 0 {
+		o.MinDelta = DefaultMinDelta
+	}
+	return o
+}
+
+// ExperimentDiff compares one experiment across two captures.
+type ExperimentDiff struct {
+	ID          string
+	Artifact    string
+	OldMedianNs float64
+	NewMedianNs float64
+	// Delta is the relative median shift (positive = slower).
+	Delta float64
+	// P is the two-sided Mann–Whitney p-value over the raw samples.
+	P float64
+	// OldN and NewN are the sample counts.
+	OldN, NewN int
+	// Significant marks p ≤ alpha with |Delta| ≥ minDelta.
+	Significant bool
+	// Regressed marks a significant slowdown (Delta > 0).
+	Regressed bool
+}
+
+// DiffReport is the full comparison of two captures.
+type DiffReport struct {
+	Diffs []ExperimentDiff
+	// OnlyOld and OnlyNew list experiment IDs present in one capture
+	// only (renamed or added experiments; reported, never gated).
+	OnlyOld, OnlyNew []string
+	// Violations are the new capture's guarantee-ratio violations.
+	Violations []Violation
+
+	opts DiffOptions
+}
+
+// Diff compares two captures: Mann–Whitney on each matched experiment's
+// wall-time samples, plus the new capture's guarantee violations. The
+// experiments keep the new capture's order.
+func Diff(oldC, newC *Capture, opts DiffOptions) *DiffReport {
+	opts = opts.withDefaults()
+	rep := &DiffReport{opts: opts, Violations: newC.Violations()}
+	oldByID := make(map[string]ExperimentResult, len(oldC.Experiments))
+	for _, e := range oldC.Experiments {
+		oldByID[e.ID] = e
+	}
+	newIDs := make(map[string]bool, len(newC.Experiments))
+	for _, e := range newC.Experiments {
+		newIDs[e.ID] = true
+		o, ok := oldByID[e.ID]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, e.ID)
+			continue
+		}
+		_, p := MannWhitney(o.WallNs, e.WallNs)
+		d := ExperimentDiff{
+			ID:          e.ID,
+			Artifact:    e.Artifact,
+			OldMedianNs: o.MedianNs,
+			NewMedianNs: e.MedianNs,
+			P:           p,
+			OldN:        len(o.WallNs),
+			NewN:        len(e.WallNs),
+		}
+		if o.MedianNs > 0 {
+			d.Delta = (e.MedianNs - o.MedianNs) / o.MedianNs
+		}
+		d.Significant = p <= opts.Alpha && math.Abs(d.Delta) >= opts.MinDelta
+		d.Regressed = d.Significant && d.Delta > 0
+		rep.Diffs = append(rep.Diffs, d)
+	}
+	for _, e := range oldC.Experiments {
+		if !newIDs[e.ID] {
+			rep.OnlyOld = append(rep.OnlyOld, e.ID)
+		}
+	}
+	return rep
+}
+
+// Regressions returns the significant slowdowns.
+func (r *DiffReport) Regressions() []ExperimentDiff {
+	var out []ExperimentDiff
+	for _, d := range r.Diffs {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// fmtNs renders nanoseconds in a human unit.
+func fmtNs(ns float64) string {
+	return time.Duration(int64(ns)).Round(time.Microsecond).String()
+}
+
+// WriteTable renders the benchstat-like comparison table followed by the
+// unmatched experiments and any quality violations.
+func (r *DiffReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-5s %12s %12s %9s %8s  %s\n", "exp", "old median", "new median", "delta", "p", "verdict")
+	for _, d := range r.Diffs {
+		verdict := "~"
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSION"
+		case d.Significant:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-5s %12s %12s %+8.1f%% %8.3f  %s (n=%d+%d)\n",
+			d.ID, fmtNs(d.OldMedianNs), fmtNs(d.NewMedianNs), d.Delta*100, d.P, verdict, d.OldN, d.NewN)
+	}
+	for _, id := range r.OnlyOld {
+		fmt.Fprintf(w, "%-5s only in old capture\n", id)
+	}
+	for _, id := range r.OnlyNew {
+		fmt.Fprintf(w, "%-5s only in new capture\n", id)
+	}
+	if len(r.Violations) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "guarantee-ratio violations (always fail):")
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  %s %s [%s]: ratio %.3f > guarantee %.3f (objective %v, lower bound %v)\n",
+				v.Experiment, v.Quality.Solver, v.Quality.Case,
+				v.Quality.Ratio, v.Quality.Guarantee, v.Quality.Objective, v.Quality.LowerBound)
+		}
+	}
+}

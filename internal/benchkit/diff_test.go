@@ -1,0 +1,103 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mkCapture builds a minimal capture with the given per-experiment
+// samples.
+func mkCapture(samples map[string][]float64) *Capture {
+	c := NewCapture(0)
+	// Deterministic experiment order for stable tests.
+	for _, id := range []string{"E1", "E2", "E3"} {
+		s, ok := samples[id]
+		if !ok {
+			continue
+		}
+		e := ExperimentResult{ID: id, Artifact: id, WallNs: s}
+		e.Summarize()
+		c.Experiments = append(c.Experiments, e)
+	}
+	return c
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	oldC := mkCapture(map[string][]float64{
+		"E1": {100, 101, 99, 100, 102, 98, 100, 101, 99, 100},
+		"E2": {50, 51, 49, 50, 52, 48, 50, 51, 49, 50},
+	})
+	newC := mkCapture(map[string][]float64{
+		"E1": {100, 101, 99, 100, 102, 98, 100, 101, 99, 100},
+		"E2": {200, 201, 199, 200, 202, 198, 200, 201, 199, 200}, // 4x slower
+	})
+	rep := Diff(oldC, newC, DiffOptions{})
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].ID != "E2" {
+		t.Fatalf("regressions = %+v, want exactly E2", regs)
+	}
+	if regs[0].Delta < 2.9 || regs[0].Delta > 3.1 {
+		t.Errorf("E2 delta = %v, want ≈ 3.0", regs[0].Delta)
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "E2") {
+		t.Errorf("table does not name the regression:\n%s", out)
+	}
+}
+
+func TestDiffIgnoresNoiseAndImprovements(t *testing.T) {
+	oldC := mkCapture(map[string][]float64{
+		"E1": {100, 101, 99, 100, 102, 98, 100, 101, 99, 100},
+		"E2": {200, 201, 199, 200, 202, 198, 200, 201, 199, 200},
+	})
+	newC := mkCapture(map[string][]float64{
+		"E1": {103, 104, 102, 103, 105, 101, 103, 104, 102, 103}, // +3%: under MinDelta
+		"E2": {100, 101, 99, 100, 102, 98, 100, 101, 99, 100},    // improvement
+	})
+	rep := Diff(oldC, newC, DiffOptions{})
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("regressions = %+v, want none (noise + improvement)", regs)
+	}
+	// The improvement is still flagged significant, just not regressed.
+	var improved bool
+	for _, d := range rep.Diffs {
+		if d.ID == "E2" && d.Significant && !d.Regressed {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("E2 improvement not marked significant: %+v", rep.Diffs)
+	}
+}
+
+func TestDiffUnmatchedExperiments(t *testing.T) {
+	oldC := mkCapture(map[string][]float64{"E1": {1, 2, 3}, "E2": {1, 2, 3}})
+	newC := mkCapture(map[string][]float64{"E1": {1, 2, 3}, "E3": {1, 2, 3}})
+	rep := Diff(oldC, newC, DiffOptions{})
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "E2" {
+		t.Errorf("onlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "E3" {
+		t.Errorf("onlyNew = %v", rep.OnlyNew)
+	}
+}
+
+func TestDiffCarriesViolations(t *testing.T) {
+	oldC := mkCapture(map[string][]float64{"E1": {1, 2, 3}})
+	newC := mkCapture(map[string][]float64{"E1": {1, 2, 3}})
+	newC.Experiments[0].Quality = []QualityRecord{
+		NewQuality("seed=3", "primal-dual", 10, 2, 3),
+	}
+	rep := Diff(oldC, newC, DiffOptions{})
+	if len(rep.Violations) != 1 || rep.Violations[0].Experiment != "E1" {
+		t.Fatalf("violations = %+v", rep.Violations)
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "guarantee-ratio violations") {
+		t.Errorf("table omits violations:\n%s", buf.String())
+	}
+}

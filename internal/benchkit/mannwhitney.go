@@ -1,0 +1,81 @@
+package benchkit
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitney runs the two-sided Mann–Whitney U test (Wilcoxon rank-sum)
+// on two independent samples and returns the U statistic (the smaller of
+// U₁/U₂) and the p-value under the normal approximation with tie
+// correction and continuity correction — the same nonparametric test
+// benchstat applies to benchmark samples, reimplemented here because the
+// repo is stdlib-only.
+//
+// The approximation is conservative for tiny samples: with 3 vs 3
+// samples the smallest attainable two-sided p is ≈ 0.08, so a 0.05 gate
+// needs at least 4 repetitions per capture (benchstat shares this
+// property). Degenerate inputs (an empty side, or all observations
+// equal) return p = 1.
+func MannWhitney(a, b []float64) (u, p float64) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		first bool // from sample a
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks over tie groups; accumulate the tie-correction term
+	// Σ(t³−t) as we go.
+	n := len(all)
+	r1 := 0.0 // rank sum of sample a
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u = math.Min(u1, u2)
+
+	mean := n1 * n2 / 2
+	nn := float64(n)
+	variance := n1 * n2 / 12 * ((nn + 1) - tieTerm/(nn*(nn-1)))
+	if variance <= 0 {
+		// Every observation equal: no evidence of a shift.
+		return u, 1
+	}
+	// Continuity correction shrinks |U − mean| by ½.
+	z := (u - mean + 0.5) / math.Sqrt(variance)
+	if z > 0 {
+		z = 0
+	}
+	// Two-sided: p = 2·Φ(z) for z ≤ 0, via erfc.
+	p = math.Erfc(-z / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

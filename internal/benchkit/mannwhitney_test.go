@@ -1,0 +1,61 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, p := MannWhitney(nil, []float64{1, 2}); p != 1 {
+		t.Errorf("empty side p = %v, want 1", p)
+	}
+	if _, p := MannWhitney([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all-equal p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyIdenticalDistributions(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, p := MannWhitney(a, a)
+	if p < 0.9 {
+		t.Errorf("identical samples p = %v, want ~1", p)
+	}
+}
+
+func TestMannWhitneyClearSeparation(t *testing.T) {
+	old := []float64{100, 101, 102, 99, 100, 101, 100, 102, 99, 101}
+	slow := []float64{200, 201, 199, 202, 200, 198, 201, 200, 199, 202}
+	u, p := MannWhitney(old, slow)
+	if u != 0 {
+		t.Errorf("disjoint samples U = %v, want 0", u)
+	}
+	if p > 0.001 {
+		t.Errorf("disjoint 10v10 samples p = %v, want < 0.001", p)
+	}
+	// Symmetry: the two-sided test does not care about direction.
+	_, p2 := MannWhitney(slow, old)
+	if math.Abs(p-p2) > 1e-12 {
+		t.Errorf("asymmetric p: %v vs %v", p, p2)
+	}
+}
+
+// TestMannWhitneyKnownValue pins the normal approximation against a
+// hand-computed example: a = {1,2,3}, b = {4,5,6} gives U = 0,
+// z = (0 − 4.5 + 0.5)/√(5.25) ≈ −1.746, two-sided p ≈ 0.0809.
+func TestMannWhitneyKnownValue(t *testing.T) {
+	u, p := MannWhitney([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if u != 0 {
+		t.Errorf("U = %v, want 0", u)
+	}
+	if math.Abs(p-0.0809) > 0.001 {
+		t.Errorf("p = %v, want ≈ 0.0809", p)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavy ties across both samples still yield a sane p in (0, 1].
+	_, p := MannWhitney([]float64{1, 1, 2, 2}, []float64{2, 2, 3, 3})
+	if p <= 0 || p > 1 {
+		t.Errorf("tied p = %v out of range", p)
+	}
+}

@@ -1,0 +1,310 @@
+// Package benchkit is the structured benchmark-capture layer of the
+// experiment harness: a versioned JSON schema for BENCH_*.json files
+// (per-experiment wall-time samples with min/median/p95, allocation
+// deltas, the core.Stats search counters, and solution-quality records
+// with observed approximation ratios against the paper's guarantees), a
+// nil-safe Recorder experiments report into, and the statistics behind
+// cmd/benchdiff's regression gate (Mann–Whitney U, capture diffing).
+// Everything here is stdlib-only; docs/OBSERVABILITY.md documents the
+// schema as an operator-facing contract.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the capture format version. Readers reject any other
+// value, so a schema change must bump it and keep old captures readable
+// through an explicit migration, never silently.
+const SchemaVersion = 1
+
+// Capture is one BENCH_*.json file: every experiment of a benchrunner run
+// with enough environment metadata to interpret the numbers later.
+type Capture struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Tool names the producer ("delprop-benchrunner").
+	Tool string `json:"tool"`
+	// CreatedAt is when the capture was taken.
+	CreatedAt time.Time `json:"createdAt"`
+	// Go, OS and Arch pin the toolchain and platform; cross-machine
+	// latency comparisons are meaningless, which is why CI gates only on
+	// quality ratios by default.
+	Go   string `json:"go"`
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	// Revision is the VCS revision baked into the binary, when built from
+	// a checkout (empty under plain `go run` without VCS stamping).
+	Revision string `json:"revision,omitempty"`
+	// Modified marks a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Repeat is the number of timed repetitions per experiment.
+	Repeat int `json:"repeat"`
+	// Experiments holds one result per experiment run, in run order.
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's structured sample.
+type ExperimentResult struct {
+	// ID is the experiment identifier (E1..E18).
+	ID string `json:"id"`
+	// Artifact names the paper table/figure/theorem reproduced.
+	Artifact string `json:"artifact"`
+	// WallNs holds every repetition's wall-clock in nanoseconds, in run
+	// order (the raw samples benchdiff feeds to Mann–Whitney).
+	WallNs []float64 `json:"wallNs"`
+	// MinNs, MedianNs and P95Ns summarize WallNs.
+	MinNs    float64 `json:"minNs"`
+	MedianNs float64 `json:"medianNs"`
+	P95Ns    float64 `json:"p95Ns"`
+	// AllocsPerRun and BytesPerRun are the mean runtime.MemStats deltas
+	// (Mallocs, TotalAlloc) per repetition.
+	AllocsPerRun int64 `json:"allocsPerRun"`
+	BytesPerRun  int64 `json:"bytesPerRun"`
+	// Search aggregates the core.Stats counters reported by the solves of
+	// one repetition.
+	Search SearchCounters `json:"search"`
+	// Quality holds one record per measured (instance, solver) ratio.
+	Quality []QualityRecord `json:"quality,omitempty"`
+}
+
+// SearchCounters mirrors core.StatsSnapshot's counters in the capture
+// schema (redeclared so the schema has no dependency on solver types).
+type SearchCounters struct {
+	NodesExpanded    int64 `json:"nodesExpanded"`
+	BranchesPruned   int64 `json:"branchesPruned"`
+	Checkpoints      int64 `json:"checkpoints"`
+	IncumbentUpdates int64 `json:"incumbentUpdates"`
+	Restarts         int64 `json:"restarts"`
+}
+
+// add accumulates counters from one solve.
+func (s *SearchCounters) add(o SearchCounters) {
+	s.NodesExpanded += o.NodesExpanded
+	s.BranchesPruned += o.BranchesPruned
+	s.Checkpoints += o.Checkpoints
+	s.IncumbentUpdates += o.IncumbentUpdates
+	s.Restarts += o.Restarts
+}
+
+// QualityRecord is one measured solution-quality point: the achieved
+// objective of an approximation against a known lower bound (exact
+// optimum or LP/dual certificate), with the paper's guarantee on the
+// ratio when the solver has one.
+type QualityRecord struct {
+	// Case labels the instance ("m=3 ndel=4 seed=7").
+	Case string `json:"case"`
+	// Solver names the measured solver.
+	Solver string `json:"solver"`
+	// Objective is the achieved objective value.
+	Objective float64 `json:"objective"`
+	// LowerBound is the proven lower bound on the optimum the ratio is
+	// taken against (an exact optimum when computable).
+	LowerBound float64 `json:"lowerBound"`
+	// Ratio is Objective/LowerBound when LowerBound > 0, else 0 (a zero
+	// optimum leaves the ratio undefined; ZeroMatched records whether the
+	// approximation also reached 0).
+	Ratio float64 `json:"ratio,omitempty"`
+	// ZeroMatched is set when LowerBound is 0 and the approximation also
+	// achieved 0 (the only acceptable outcome on a zero-optimum
+	// instance).
+	ZeroMatched bool `json:"zeroMatched,omitempty"`
+	// Guarantee is the paper's bound on the ratio for this solver and
+	// instance (e.g. l for Theorem 3, 2√‖V‖ for Theorem 4); 0 means the
+	// solver carries no guarantee here.
+	Guarantee float64 `json:"guarantee,omitempty"`
+	// Violated marks a ratio above the guarantee — a correctness bug, not
+	// a performance regression; benchdiff always fails on it.
+	Violated bool `json:"violated,omitempty"`
+}
+
+// ratioEps absorbs floating-point noise when comparing a ratio to its
+// guarantee.
+const ratioEps = 1e-9
+
+// NewQuality builds a QualityRecord, computing Ratio, ZeroMatched and
+// Violated from the raw values. guarantee 0 means "no guarantee".
+func NewQuality(caseLabel, solver string, objective, lowerBound, guarantee float64) QualityRecord {
+	q := QualityRecord{
+		Case:       caseLabel,
+		Solver:     solver,
+		Objective:  objective,
+		LowerBound: lowerBound,
+		Guarantee:  guarantee,
+	}
+	if lowerBound > 0 {
+		q.Ratio = objective / lowerBound
+		if guarantee > 0 && q.Ratio > guarantee+ratioEps {
+			q.Violated = true
+		}
+	} else {
+		q.ZeroMatched = objective <= 0
+		// On a zero-optimum instance any positive side effect breaks an
+		// exact guarantee (guarantee 1 means "must match the optimum").
+		if guarantee > 0 && guarantee <= 1+ratioEps && objective > 0 {
+			q.Violated = true
+		}
+	}
+	return q
+}
+
+// NewCapture returns a capture stamped with the current toolchain,
+// platform and VCS metadata, ready for AddExperiment.
+func NewCapture(repeat int) *Capture {
+	c := &Capture{
+		Schema:    SchemaVersion,
+		Tool:      "delprop-benchrunner",
+		CreatedAt: time.Now().UTC(),
+		Go:        runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Repeat:    repeat,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				c.Revision = s.Value
+			case "vcs.modified":
+				c.Modified = s.Value == "true"
+			}
+		}
+	}
+	return c
+}
+
+// Summarize fills MinNs/MedianNs/P95Ns from WallNs.
+func (e *ExperimentResult) Summarize() {
+	e.MinNs, e.MedianNs, e.P95Ns = Summary(e.WallNs)
+}
+
+// Summary returns min, median and p95 of the samples (nearest-rank p95;
+// all zero for an empty slice).
+func Summary(samples []float64) (min, median, p95 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	min = s[0]
+	if n := len(s); n%2 == 1 {
+		median = s[n/2]
+	} else {
+		median = (s[n/2-1] + s[n/2]) / 2
+	}
+	rank := int(math.Ceil(0.95*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	p95 = s[rank]
+	return min, median, p95
+}
+
+// Validate checks the capture is structurally sound: the schema version
+// matches, every experiment has an ID and at least one sample, and the
+// summaries are consistent with the samples.
+func (c *Capture) Validate() error {
+	if c.Schema != SchemaVersion {
+		return fmt.Errorf("benchkit: capture schema %d, this tool reads %d", c.Schema, SchemaVersion)
+	}
+	if len(c.Experiments) == 0 {
+		return fmt.Errorf("benchkit: capture holds no experiments")
+	}
+	seen := make(map[string]bool, len(c.Experiments))
+	for i, e := range c.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("benchkit: experiment %d has no id", i)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("benchkit: duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.WallNs) == 0 {
+			return fmt.Errorf("benchkit: experiment %s has no wall-time samples", e.ID)
+		}
+		for _, v := range e.WallNs {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("benchkit: experiment %s has invalid sample %v", e.ID, v)
+			}
+		}
+		if e.MedianNs < e.MinNs {
+			return fmt.Errorf("benchkit: experiment %s summary inconsistent (median %v < min %v)", e.ID, e.MedianNs, e.MinNs)
+		}
+	}
+	return nil
+}
+
+// Violations returns every guarantee-ratio violation in the capture,
+// tagged with its experiment ID.
+func (c *Capture) Violations() []Violation {
+	var out []Violation
+	for _, e := range c.Experiments {
+		for _, q := range e.Quality {
+			if q.Violated {
+				out = append(out, Violation{Experiment: e.ID, Quality: q})
+			}
+		}
+	}
+	return out
+}
+
+// Violation is a guarantee-ratio violation located in its experiment.
+type Violation struct {
+	Experiment string        `json:"experiment"`
+	Quality    QualityRecord `json:"quality"`
+}
+
+// Write renders the capture as indented JSON.
+func Write(w io.Writer, c *Capture) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Read decodes and validates a capture.
+func Read(r io.Reader) (*Capture, error) {
+	var c Capture
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("benchkit: decode capture: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteFile writes the capture to path (0644).
+func WriteFile(path string, c *Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads and validates the capture at path.
+func ReadFile(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

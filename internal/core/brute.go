@@ -85,5 +85,9 @@ func (b *BruteForce) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		// when ΔV is empty and mask 0 was feasible. Defensive:
 		return nil, fmt.Errorf("core: brute force found no feasible solution")
 	}
+	// A completed scan is exact: the objective is its own lower bound
+	// (observed quality ratio 1).
+	st.SetObjective(bestCost)
+	st.ObserveLowerBound(bestCost)
 	return best, nil
 }

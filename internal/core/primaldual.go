@@ -125,6 +125,7 @@ func (pd *PrimalDual) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 	load := make(map[string]float64, len(cands))
 	saturated := make(map[string]bool)
 	var pickOrder []string
+	totalDual := 0.0
 	for ri, r := range reqs {
 		if ri%checkEvery == 0 {
 			st.Checkpoint()
@@ -168,6 +169,14 @@ func (pd *PrimalDual) Solve(ctx context.Context, p *Problem) (*Solution, error) 
 				pickOrder = append(pickOrder, tk)
 			}
 		}
+		totalDual += delta
+	}
+	// The raised duals are feasible for the aggregated LP (constraints
+	// (6)–(10)), so Σ v_r lower-bounds the optimum — but only on the
+	// unrestricted problem: LowDegTree's candidate/preserved restrictions
+	// change the LP, so the certificate is withheld there.
+	if pd.restrictCandidates == nil && pd.restrictPreserved == nil {
+		st.ObserveLowerBound(totalDual)
 	}
 
 	// Reverse-delete prune: drop saturated tuples not needed to keep every

@@ -145,7 +145,13 @@ func (r *RedBlueExact) Solve(ctx context.Context, p *Problem) (*Solution, error)
 		}
 		return nil, fmt.Errorf("core: red-blue exact: %w", err)
 	}
-	return enc.decode(sol), nil
+	out := enc.decode(sol)
+	// The completed branch and bound is exact (Theorem 1 preserves cost),
+	// so the achieved side effect doubles as the proven optimum.
+	opt := p.Evaluate(out).SideEffect
+	st.SetObjective(opt)
+	st.ObserveLowerBound(opt)
+	return out, nil
 }
 
 // BalancedRedBlue is the Lemma 1 approximation for balanced deletion

@@ -33,6 +33,18 @@ type Stats struct {
 
 	mu         sync.Mutex
 	incumbents []IncumbentEvent
+
+	// Solution-quality accounting (guarded by mu): the achieved objective
+	// of the returned solution and the best proven lower bound on the
+	// optimum. Exact solvers report both (ratio 1); approximation solvers
+	// report whatever certificate they hold (primal-dual reports its
+	// feasible dual value); the server fills in core.DualBound when the
+	// solver reported none. The ratio objective/lowerBound is the observed
+	// approximation quality exported as delprop_solve_quality_ratio.
+	hasObjective bool
+	objective    float64
+	hasLower     bool
+	lowerBound   float64
 }
 
 // IncumbentEvent records one improvement of the best-so-far solution.
@@ -85,6 +97,35 @@ func (s *Stats) Incumbent(objective float64, deleted int) {
 	s.mu.Unlock()
 }
 
+// SetObjective records the achieved objective value of the solution the
+// solve returned (side effect, cover cost, or balanced objective). The
+// last write wins: callers that evaluate the returned solution (the
+// server, the bench harness) overwrite whatever the solver reported.
+func (s *Stats) SetObjective(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hasObjective = true
+	s.objective = v
+	s.mu.Unlock()
+}
+
+// ObserveLowerBound records a proven lower bound on the optimal objective.
+// The largest observed bound wins, so several certificates (a solver's
+// dual value, the LP DualBound, an exact optimum) compose safely.
+func (s *Stats) ObserveLowerBound(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.hasLower || v > s.lowerBound {
+		s.hasLower = true
+		s.lowerBound = v
+	}
+	s.mu.Unlock()
+}
+
 // StatsSnapshot is an immutable copy of the counters, JSON-ready for the
 // HTTP response, the CLI -stats flag, and bench output.
 type StatsSnapshot struct {
@@ -94,6 +135,18 @@ type StatsSnapshot struct {
 	Restarts         int64            `json:"restarts"`
 	IncumbentUpdates int64            `json:"incumbentUpdates"`
 	Incumbents       []IncumbentEvent `json:"incumbents,omitempty"`
+	// Objective is the achieved objective of the returned solution, when
+	// recorded (SetObjective).
+	Objective *float64 `json:"objective,omitempty"`
+	// LowerBound is the best proven lower bound on the optimum, when any
+	// certificate was recorded (ObserveLowerBound).
+	LowerBound *float64 `json:"lowerBound,omitempty"`
+	// QualityRatio is Objective/LowerBound — the observed approximation
+	// ratio — when both are recorded and the bound is positive. A zero
+	// objective against a zero bound met the bound exactly and reads 1; a
+	// positive objective against a zero bound proves nothing and stays
+	// unset.
+	QualityRatio *float64 `json:"qualityRatio,omitempty"`
 }
 
 // Snapshot copies the current counters. Safe to call while the solve is
@@ -105,15 +158,34 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 	s.mu.Lock()
 	inc := append([]IncumbentEvent(nil), s.incumbents...)
-	s.mu.Unlock()
-	return StatsSnapshot{
-		NodesExpanded:    s.nodes.Load(),
-		BranchesPruned:   s.pruned.Load(),
-		Checkpoints:      s.checkpoints.Load(),
-		Restarts:         s.restarts.Load(),
+	snap := StatsSnapshot{
 		IncumbentUpdates: int64(len(inc)),
 		Incumbents:       inc,
 	}
+	if s.hasObjective {
+		obj := s.objective
+		snap.Objective = &obj
+	}
+	if s.hasLower {
+		lb := s.lowerBound
+		snap.LowerBound = &lb
+	}
+	if s.hasObjective && s.hasLower {
+		switch {
+		case s.lowerBound > 0:
+			ratio := s.objective / s.lowerBound
+			snap.QualityRatio = &ratio
+		case s.objective == 0:
+			one := 1.0
+			snap.QualityRatio = &one
+		}
+	}
+	s.mu.Unlock()
+	snap.NodesExpanded = s.nodes.Load()
+	snap.BranchesPruned = s.pruned.Load()
+	snap.Checkpoints = s.checkpoints.Load()
+	snap.Restarts = s.restarts.Load()
+	return snap
 }
 
 // statsKey carries the *Stats through the solve context.

@@ -13,10 +13,92 @@ func TestStatsNilSafe(t *testing.T) {
 	st.Checkpoint()
 	st.Restart()
 	st.Incumbent(1.5, 2)
+	st.SetObjective(4)
+	st.ObserveLowerBound(2)
 	snap := st.Snapshot()
 	if snap.NodesExpanded != 0 || snap.BranchesPruned != 0 || snap.Checkpoints != 0 ||
 		snap.Restarts != 0 || snap.IncumbentUpdates != 0 || len(snap.Incumbents) != 0 {
 		t.Errorf("nil snapshot = %+v", snap)
+	}
+	if snap.Objective != nil || snap.LowerBound != nil || snap.QualityRatio != nil {
+		t.Errorf("nil stats carries quality: %+v", snap)
+	}
+}
+
+func TestStatsQualityAccounting(t *testing.T) {
+	st := &Stats{}
+	if snap := st.Snapshot(); snap.Objective != nil || snap.LowerBound != nil || snap.QualityRatio != nil {
+		t.Errorf("fresh stats carries quality: %+v", snap)
+	}
+	st.SetObjective(6)
+	st.ObserveLowerBound(2)
+	st.ObserveLowerBound(3) // max wins
+	st.ObserveLowerBound(1) // smaller bound must not regress
+	snap := st.Snapshot()
+	if snap.Objective == nil || *snap.Objective != 6 {
+		t.Errorf("objective = %v, want 6", snap.Objective)
+	}
+	if snap.LowerBound == nil || *snap.LowerBound != 3 {
+		t.Errorf("lower bound = %v, want 3", snap.LowerBound)
+	}
+	if snap.QualityRatio == nil || *snap.QualityRatio != 2 {
+		t.Errorf("quality ratio = %v, want 2", snap.QualityRatio)
+	}
+	// A zero objective against a zero bound met the bound exactly: ratio 1
+	// (the deterministic smoke instance certifies optimality this way).
+	st2 := &Stats{}
+	st2.SetObjective(0)
+	st2.ObserveLowerBound(0)
+	if snap := st2.Snapshot(); snap.QualityRatio == nil || *snap.QualityRatio != 1 {
+		t.Errorf("ratio for 0/0 = %v, want 1", snap.QualityRatio)
+	}
+	// A positive objective against a zero bound proves nothing: no ratio.
+	st3 := &Stats{}
+	st3.SetObjective(4)
+	st3.ObserveLowerBound(0)
+	if snap := st3.Snapshot(); snap.QualityRatio != nil {
+		t.Errorf("ratio with zero bound = %v, want nil", *snap.QualityRatio)
+	}
+}
+
+// TestExactSolversCertifyRatioOne: exact solvers report objective ==
+// lower bound, so the observed quality ratio is exactly 1.
+func TestExactSolversCertifyRatioOne(t *testing.T) {
+	p := fig1Q4Problem(t)
+	for _, s := range []Solver{&BruteForce{}, &RedBlueExact{}} {
+		ctx, st := WithStats(context.Background())
+		if _, err := s.Solve(ctx, p); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		snap := st.Snapshot()
+		if snap.Objective == nil || snap.LowerBound == nil {
+			t.Fatalf("%s recorded no quality certificate: %+v", s.Name(), snap)
+		}
+		if *snap.Objective != *snap.LowerBound {
+			t.Errorf("%s objective %v != lower bound %v", s.Name(), *snap.Objective, *snap.LowerBound)
+		}
+		if *snap.LowerBound > 0 && (snap.QualityRatio == nil || *snap.QualityRatio != 1) {
+			t.Errorf("%s quality ratio = %v, want 1", s.Name(), snap.QualityRatio)
+		}
+	}
+}
+
+// TestPrimalDualReportsDualBound: the primal-dual solver's raised duals
+// are a feasible LP solution, so the recorded lower bound never exceeds
+// the achieved side effect.
+func TestPrimalDualReportsDualBound(t *testing.T) {
+	p := fig1Q4Problem(t)
+	ctx, st := WithStats(context.Background())
+	sol, err := (&PrimalDual{}).Solve(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.LowerBound == nil {
+		t.Fatal("primal-dual recorded no dual lower bound")
+	}
+	if got := p.Evaluate(sol).SideEffect; *snap.LowerBound > got+1e-9 {
+		t.Errorf("dual bound %v exceeds achieved side effect %v", *snap.LowerBound, got)
 	}
 }
 

@@ -92,6 +92,8 @@ type api struct {
 	sem      chan struct{}
 	nextID   atomic.Uint64
 	draining atomic.Bool
+	// start anchors the delprop_process_uptime_seconds gauge.
+	start time.Time
 }
 
 // requestIDKey carries the request id through the request context.

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"time"
 
@@ -24,7 +28,17 @@ const (
 	metricCheckpoints      = "delprop_solver_checkpoints_total"
 	metricIncumbentUpdates = "delprop_solver_incumbent_updates_total"
 	metricRestarts         = "delprop_solver_restarts_total"
+	metricQualityRatio     = "delprop_solve_quality_ratio"
+	metricBuildInfo        = "delprop_build_info"
+	metricUptime           = "delprop_process_uptime_seconds"
+	metricGoroutines       = "delprop_goroutines"
+	metricHeapInuse        = "delprop_heap_inuse_bytes"
 )
+
+// qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
+// is an exact solve, and the paper's guarantees for the instances the
+// server accepts fall well inside the tail buckets.
+var qualityRatioBuckets = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10, 25, 100}
 
 // observeHTTP records one finished HTTP request.
 func (a *api) observeHTTP(method, path string, status int, dur time.Duration) {
@@ -72,11 +86,54 @@ func (a *api) observeSolve(solver, outcome string, dur time.Duration, snap core.
 	reg.Counter(metricRestarts,
 		"Outer-loop restarts (local-search passes, τ-sweep iterations, portfolio members).",
 		lb).Add(snap.Restarts)
+	if snap.QualityRatio != nil {
+		reg.Histogram(metricQualityRatio,
+			"Observed approximation ratio (achieved objective / proven lower bound) per solve, by solver. Ratio 1 is a certified-optimal solve.",
+			qualityRatioBuckets, lb).Observe(*snap.QualityRatio)
+	}
+}
+
+// registerBuildInfo publishes the delprop_build_info gauge (constant 1,
+// with the build identity as labels — the standard Prometheus pattern for
+// joining dashboards against versions) and initializes the process-level
+// runtime gauges handleMetrics refreshes per scrape.
+func (a *api) registerBuildInfo() {
+	labels := telemetry.Labels{"goversion": runtime.Version(), "revision": "unknown", "modified": "false"}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				labels["revision"] = s.Value
+			case "vcs.modified":
+				labels["modified"] = s.Value
+			}
+		}
+	}
+	a.cfg.Metrics.Gauge(metricBuildInfo,
+		"Build identity (constant 1; the labels carry go version and VCS revision).",
+		labels).Set(1)
+	a.updateRuntimeGauges()
+}
+
+// updateRuntimeGauges refreshes the per-scrape process gauges: uptime,
+// goroutine count and heap in use.
+func (a *api) updateRuntimeGauges() {
+	reg := a.cfg.Metrics
+	reg.Gauge(metricUptime,
+		"Seconds since this server was constructed.", nil).Set(time.Since(a.start).Seconds())
+	reg.Gauge(metricGoroutines,
+		"Current goroutine count.", nil).Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(metricHeapInuse,
+		"Bytes of heap memory in use (runtime.MemStats.HeapInuse).", nil).Set(float64(ms.HeapInuse))
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
-// format.
+// format, refreshing the process-level runtime gauges first so every
+// scrape sees current values.
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	a.updateRuntimeGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	a.cfg.Metrics.WritePrometheus(w)
 }
@@ -87,13 +144,53 @@ type TracesResponse struct {
 }
 
 // handleTraces returns the most recent finished solve traces, oldest
-// first.
+// first. Query parameters: ?solver=<name> keeps only traces whose solver
+// attribute matches, and ?format=text renders a human-readable listing
+// instead of the default JSON.
 func (a *api) handleTraces(w http.ResponseWriter, r *http.Request) {
 	snap := a.cfg.Tracer.Snapshot()
 	if snap == nil {
 		snap = []telemetry.TraceJSON{}
 	}
-	writeJSON(w, http.StatusOK, TracesResponse{Traces: snap})
+	if solver := r.URL.Query().Get("solver"); solver != "" {
+		kept := make([]telemetry.TraceJSON, 0, len(snap))
+		for _, t := range snap {
+			if t.Attrs["solver"] == solver {
+				kept = append(kept, t)
+			}
+		}
+		snap = kept
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, TracesResponse{Traces: snap})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTracesText(w, snap)
+	default:
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf("format: unknown value %q (want json or text)", format), requestID(r))
+	}
+}
+
+// writeTracesText renders traces one per line with sorted attributes (map
+// order must never leak into output) and indented spans.
+func writeTracesText(w http.ResponseWriter, traces []telemetry.TraceJSON) {
+	for _, t := range traces {
+		fmt.Fprintf(w, "#%d %s %.3fms", t.ID, t.Name, t.DurationMs)
+		keys := make([]string, 0, len(t.Attrs))
+		for k := range t.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, t.Attrs[k])
+		}
+		fmt.Fprintln(w)
+		for _, s := range t.Spans {
+			fmt.Fprintf(w, "  %-10s +%.3fms %.3fms\n", s.Name, s.OffsetMs, s.DurationMs)
+		}
+	}
 }
 
 // handleHealthz answers liveness probes; once draining it flips to 503 so

@@ -148,6 +148,128 @@ func TestTracesAfterSolve(t *testing.T) {
 	}
 }
 
+// TestQualityRatioAccounting checks the runtime quality path: a
+// key-preserving instance solved exactly yields objective == lower bound,
+// so the response stats carry ratio 1 and the per-solver quality-ratio
+// histogram records one observation at le="1".
+func TestQualityRatioAccounting(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	resp, body := post(t, srv, "/solve", projectFreeSolve())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats == nil || out.Stats.QualityRatio == nil {
+		t.Fatalf("response stats carry no quality ratio: %+v", out.Stats)
+	}
+	if *out.Stats.QualityRatio != 1 {
+		t.Errorf("exact solve quality ratio = %v, want 1", *out.Stats.QualityRatio)
+	}
+	if out.Stats.Objective == nil || out.Stats.LowerBound == nil {
+		t.Errorf("stats missing objective/lower bound: %+v", out.Stats)
+	}
+
+	_, metrics := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"# TYPE delprop_solve_quality_ratio histogram",
+		`delprop_solve_quality_ratio_count{solver="brute-force"} 1`,
+		`delprop_solve_quality_ratio_bucket{solver="brute-force",le="1"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestBuildInfoAndRuntimeGauges checks the process-identity gauges are on
+// /metrics from the first scrape.
+func TestBuildInfoAndRuntimeGauges(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	status, metrics := get(t, srv, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE delprop_build_info gauge",
+		`delprop_build_info{goversion="`,
+		"# TYPE delprop_process_uptime_seconds gauge",
+		"delprop_process_uptime_seconds ",
+		"# TYPE delprop_goroutines gauge",
+		"delprop_goroutines ",
+		"# TYPE delprop_heap_inuse_bytes gauge",
+		"delprop_heap_inuse_bytes ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Goroutines and heap must be nonzero in a live process.
+	for _, name := range []string{"delprop_goroutines ", "delprop_heap_inuse_bytes "} {
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.HasPrefix(line, name) && strings.TrimPrefix(line, name) == "0" {
+				t.Errorf("%s is zero", strings.TrimSpace(name))
+			}
+		}
+	}
+}
+
+// TestTracesFilterAndFormat exercises ?solver= filtering and ?format=
+// rendering on /debug/traces.
+func TestTracesFilterAndFormat(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	if resp, b := post(t, srv, "/solve", projectFreeSolve()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("brute-force solve = %d: %s", resp.StatusCode, b)
+	}
+	greedy := projectFreeSolve()
+	greedy.Solver = "greedy"
+	if resp, b := post(t, srv, "/solve", greedy); resp.StatusCode != http.StatusOK {
+		t.Fatalf("greedy solve = %d: %s", resp.StatusCode, b)
+	}
+
+	var got TracesResponse
+	_, body := get(t, srv, "/debug/traces?solver=brute-force")
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 1 || got.Traces[0].Attrs["solver"] != "brute-force" {
+		t.Fatalf("filtered traces = %+v, want exactly the brute-force one", got.Traces)
+	}
+	_, body = get(t, srv, "/debug/traces?solver=no-such-solver")
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 0 {
+		t.Errorf("unknown-solver filter returned %d traces", len(got.Traces))
+	}
+
+	status, text := get(t, srv, "/debug/traces?format=text&solver=greedy")
+	if status != http.StatusOK {
+		t.Fatalf("text format status = %d", status)
+	}
+	if !strings.Contains(text, "solver=greedy") || !strings.Contains(text, "solve") {
+		t.Errorf("text rendering missing content:\n%s", text)
+	}
+	if strings.Contains(text, "{") {
+		t.Errorf("text rendering leaks JSON:\n%s", text)
+	}
+
+	if status, _ := get(t, srv, "/debug/traces?format=xml"); status != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d, want 400", status)
+	}
+}
+
 func TestHealthzDraining(t *testing.T) {
 	app := New()
 	srv := httptest.NewServer(app)

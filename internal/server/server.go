@@ -47,8 +47,9 @@ func New() *Server { return NewHandler(Config{}) }
 
 // NewHandler mounts the routes under cfg (zero fields take defaults).
 func NewHandler(cfg Config) *Server {
-	a := &api{cfg: cfg.withDefaults()}
+	a := &api{cfg: cfg.withDefaults(), start: time.Now()}
 	a.sem = make(chan struct{}, a.cfg.MaxConcurrent)
+	a.registerBuildInfo()
 	mux := http.NewServeMux()
 	mux.Handle("POST /solve", a.compute(a.handleSolve))
 	mux.Handle("POST /classify", a.compute(a.handleClassify))
@@ -466,8 +467,18 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if p.IsKeyPreserving() {
 		if lb, err := core.DualBound(p); err == nil {
 			resp.LowerBound = &lb
+			// The LP-dual certificate also bounds the optimum for quality
+			// accounting (exact solvers may already have recorded a tighter
+			// one; ObserveLowerBound keeps the max).
+			stats.ObserveLowerBound(lb)
 		}
 	}
+	if rep.Feasible {
+		stats.SetObjective(rep.SideEffect)
+	}
+	// Re-snapshot so the response stats and the quality-ratio histogram in
+	// finish() see the evaluate-phase objective and bound.
+	snap = stats.Snapshot()
 	endEvaluate()
 	if partial {
 		finish("partial")

@@ -88,6 +88,75 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestHistogramRenderEmpty checks an observed-nothing histogram still
+// renders a full, all-zero bucket ladder (scrapers treat a missing series
+// and a zero series very differently).
+func TestHistogramRenderEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "Empty.", []float64{1, 2}, nil)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`empty_seconds_bucket{le="1"} 0`,
+		`empty_seconds_bucket{le="2"} 0`,
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_sum 0",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBoundaryObservation pins the le semantics: a value exactly
+// on a bucket bound belongs to that bucket (le is ≤), and a value above
+// the last bound lands only in +Inf.
+func TestHistogramBoundaryObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "Edge.", []float64{1, 2}, nil)
+	h.Observe(1) // exactly on the first bound
+	h.Observe(2) // exactly on the last bound
+	h.Observe(3) // above every bound: +Inf only
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`edge_seconds_bucket{le="1"} 1`,
+		`edge_seconds_bucket{le="2"} 2`,
+		`edge_seconds_bucket{le="+Inf"} 3`,
+		"edge_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramInfCumulative checks the +Inf bucket always equals the
+// count, whatever mix of in-range and overflow observations arrived —
+// the invariant Prometheus rate() math relies on.
+func TestHistogramInfCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf_seconds", "Inf.", []float64{0.5}, nil)
+	for _, v := range []float64{0.1, 0.5, 0.9, 100, 0.2} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if want := `inf_seconds_bucket{le="+Inf"} 5`; !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+	if want := "inf_seconds_count 5"; !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("weird_total", "", Labels{"q": "a\"b\\c\nd"}).Inc()

@@ -53,6 +53,33 @@ do
         fail=1
     fi
 done
+# Build identity: constant 1 with go version / VCS revision labels.
+if ! grep -E '^delprop_build_info\{goversion="[^"]+",modified="[^"]+",revision="[^"]+"\} 1$' <<<"$METRICS" >/dev/null; then
+    echo "missing or malformed delprop_build_info gauge"
+    fail=1
+fi
+# Process runtime gauges, refreshed per scrape.
+if ! grep -E '^delprop_process_uptime_seconds [0-9]' <<<"$METRICS" >/dev/null; then
+    echo "missing delprop_process_uptime_seconds gauge"
+    fail=1
+fi
+for gauge in delprop_goroutines delprop_heap_inuse_bytes; do
+    if ! grep -E "^${gauge} [1-9]" <<<"$METRICS" >/dev/null; then
+        echo "gauge absent or zero: $gauge"
+        fail=1
+    fi
+done
+# The smoke instance is key-preserving and brute force is exact, so the
+# solve must certify an approximation ratio of exactly 1.
+for want in \
+    'delprop_solve_quality_ratio_count{solver="brute-force"} 1' \
+    'delprop_solve_quality_ratio_bucket{solver="brute-force",le="1"} 1'
+do
+    if ! grep -qF "$want" <<<"$METRICS"; then
+        echo "missing quality-ratio line: $want"
+        fail=1
+    fi
+done
 if [ "$fail" -ne 0 ]; then
     echo "---- /metrics ----"
     echo "$METRICS"
@@ -61,6 +88,8 @@ fi
 
 curl -sf "http://$OPS_ADDR/debug/traces" | grep -q '"name":"solve"' \
     || { echo "/debug/traces carries no solve trace"; exit 1; }
+curl -sf "http://$OPS_ADDR/debug/traces?solver=brute-force&format=text" | grep -q 'solver=brute-force' \
+    || { echo "/debug/traces text/filter view missing the solve"; exit 1; }
 curl -sf "http://$OPS_ADDR/debug/pprof/cmdline" >/dev/null \
     || { echo "pprof not mounted on ops listener"; exit 1; }
 
