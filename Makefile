@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
 
 all: build test
 
@@ -18,13 +18,19 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Focused -race pass over the concurrency-heavy packages (parallel
+# portfolio, concurrent greedy scoring, batch worker pool); -count=2
+# defeats the test cache so the schedule differs between runs.
+race-hot:
+	$(GO) test -race -count=2 ./internal/core/ ./internal/view/ ./internal/server/
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every paper table/figure/theorem experiment (E1..E18).
+# Regenerate every paper table/figure/theorem experiment (E1..E19).
 experiments:
 	$(GO) run ./cmd/benchrunner
 

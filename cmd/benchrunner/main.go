@@ -1,5 +1,5 @@
 // Command benchrunner regenerates the paper's tables, figures and theorem
-// validations (experiments E1–E18 of DESIGN.md), optionally writing a
+// validations (experiments E1–E19 of DESIGN.md), optionally writing a
 // structured BENCH_*.json capture for cmd/benchdiff.
 //
 // Usage:
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment by ID (E1..E18)")
+	exp := flag.String("exp", "", "run a single experiment by ID (E1..E19)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "write a structured benchkit capture (BENCH_*.json) to this path")
 	repeat := flag.Int("repeat", 1, "timed repetitions per experiment (first prints output, the rest are silent)")

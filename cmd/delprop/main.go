@@ -11,6 +11,11 @@
 // dp-tree, brute-force, single-exact, balanced-red-blue, balanced-exact,
 // auto (classification-driven default).
 //
+// -batch treats the -delete file as blank-line-separated deletion
+// stanzas, each solved as its own instance against the shared database
+// and queries through a -batch-workers pool; the report stays in input
+// order (the CLI mirror of the server's POST /solve/batch).
+//
 // -timeout bounds the solve; on expiry the run fails unless the solver
 // carried an incumbent (anytime solvers), which is then printed as a
 // partial result. -resilience computes per-query resilience instead of a
@@ -51,6 +56,8 @@ func main() {
 	resilience := flag.Bool("resilience", false, "compute per-query resilience instead of a deletion")
 	resilienceBudget := flag.Int("resilience-budget", 24, "candidate bound for the exact resilience search")
 	stats := flag.String("stats", "", "print per-phase timings and search counters after the solve: \"text\" or \"json\"")
+	batch := flag.Bool("batch", false, "treat -delete as blank-line-separated stanzas solved concurrently (the CLI mirror of POST /solve/batch)")
+	batchWorkers := flag.Int("batch-workers", 4, "concurrent item solves in -batch mode")
 	flag.Parse()
 
 	if *dbPath == "" || *qPath == "" || (*dPath == "" && !*resilience) {
@@ -69,6 +76,17 @@ func main() {
 		resilience:       *resilience,
 		resilienceBudget: *resilienceBudget,
 		stats:            *stats,
+	}
+	if *batch {
+		if *resilience {
+			fmt.Fprintln(os.Stderr, "delprop: -batch and -resilience are mutually exclusive")
+			os.Exit(2)
+		}
+		if err := runBatch(*dbPath, *qPath, *dPath, *batchWorkers, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "delprop:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*dbPath, *qPath, *dPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "delprop:", err)

@@ -118,3 +118,59 @@ func tupleOf(vals ...string) relation.Tuple {
 	}
 	return t
 }
+
+func TestRunBatch(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runBatch(td("db.txt"), td("queries.dl"), td("batch.txt"), 2, options{solver: "auto"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== item 0 ==", "== item 1 ==", "batch: 2 items, 2 ok, 0 failed, 2 workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output lacks %q:\n%s", want, out)
+		}
+	}
+	// Input order: item 0's header precedes item 1's regardless of which
+	// worker finished first.
+	if strings.Index(out, "== item 0 ==") > strings.Index(out, "== item 1 ==") {
+		t.Errorf("items out of order:\n%s", out)
+	}
+	if strings.Count(out, "feasible: true") != 2 {
+		t.Errorf("want 2 feasible items:\n%s", out)
+	}
+}
+
+func TestRunBatchBadItemIsolated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.txt")
+	if err := os.WriteFile(path, []byte("Q4(John, TKDE, XML)\n\nNoSuchQuery(a, b)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return runBatch(td("db.txt"), td("queries.dl"), path, 2, options{solver: "auto"})
+	})
+	if err == nil {
+		t.Fatal("batch with a bad item reported success")
+	}
+	if !strings.Contains(out, "batch: 2 items, 1 ok, 1 failed") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "feasible: true") {
+		t.Errorf("good item lost its result:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bad item's error not reported:\n%s", out)
+	}
+}
+
+func TestSplitStanzas(t *testing.T) {
+	src := "# comment only\n\nQ4(a, b, c)\n\n\n%ignored\nQ4(d, e, f)\nQ4(g, h, i)\n\n   \n"
+	got := splitStanzas(src)
+	if len(got) != 2 {
+		t.Fatalf("stanzas = %d (%q), want 2", len(got), got)
+	}
+	if !strings.Contains(got[0], "Q4(a, b, c)") || !strings.Contains(got[1], "Q4(g, h, i)") {
+		t.Errorf("stanzas = %q", got)
+	}
+}

@@ -4,11 +4,13 @@
 //
 //	delpropd -addr :8080 [-solve-timeout 30s] [-max-solve-timeout 2m]
 //	         [-max-body 4194304] [-max-concurrent 64] [-shutdown-grace 30s]
+//	         [-max-batch-items 64] [-max-batch-workers 4]
 //	         [-ops-addr :9090] [-pprof] [-drain-delay 0s]
 //
 // Endpoints (JSON; see internal/server):
 //
 //	POST /solve       {database, queries, deletions, solver?, weights?, timeout?}
+//	POST /solve/batch {items: [...], timeout?, workers?}
 //	POST /classify    {database, queries}
 //	POST /lineage     {database, queries, tuple}
 //	POST /resilience  {database, queries, resilienceBudget?, timeout?}
@@ -66,6 +68,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 	maxConcurrent := fs.Int("max-concurrent", server.DefaultMaxConcurrent, "maximum concurrent compute requests before shedding with 429")
 	maxResilience := fs.Int("max-resilience-budget", server.DefaultMaxResilienceLimit, "cap on the resilienceBudget request field")
+	maxBatchItems := fs.Int("max-batch-items", server.DefaultMaxBatchItems, "cap on instances per POST /solve/batch request")
+	maxBatchWorkers := fs.Int("max-batch-workers", server.DefaultMaxBatchWorkers, "cap on concurrent item solves inside one batch (and the default pool size)")
 	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	opsAddr := fs.String("ops-addr", "", "listen address for the operational endpoints (/metrics, /debug/traces, /healthz; empty disables the second listener)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops listener (requires -ops-addr)")
@@ -84,6 +88,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxBodyBytes:        *maxBody,
 		MaxConcurrent:       *maxConcurrent,
 		MaxResilienceBudget: *maxResilience,
+		MaxBatchItems:       *maxBatchItems,
+		MaxBatchWorkers:     *maxBatchWorkers,
 		Logger:              logger,
 	})
 	srv := &http.Server{

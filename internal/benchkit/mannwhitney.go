@@ -41,7 +41,10 @@ func MannWhitney(a, b []float64) (u, p float64) {
 	r1 := 0.0 // rank sum of sample a
 	tieTerm := 0.0
 	for i := 0; i < n; {
-		j := i
+		// j starts past i so every group consumes at least one element: a
+		// NaN observation is never equal to itself, and starting the scan
+		// at i would leave an empty group and loop forever.
+		j := i + 1
 		for j < n && all[j].v == all[i].v {
 			j++
 		}
@@ -63,8 +66,13 @@ func MannWhitney(a, b []float64) (u, p float64) {
 	mean := n1 * n2 / 2
 	nn := float64(n)
 	variance := n1 * n2 / 12 * ((nn + 1) - tieTerm/(nn*(nn-1)))
-	if variance <= 0 {
-		// Every observation equal: no evidence of a shift.
+	if variance <= 0 || math.IsNaN(variance) {
+		// Every observation equal (the tie correction cancels the whole
+		// variance — possibly to a tiny negative or NaN under floating
+		// point): no evidence of a shift. Without the NaN guard a NaN
+		// variance propagates into a NaN p, and `p <= alpha` comparisons
+		// downstream (Diff's significance gate) are silently false, so a
+		// regression would pass the gate unflagged.
 		return u, 1
 	}
 	// Continuity correction shrinks |U − mean| by ½.
@@ -74,7 +82,10 @@ func MannWhitney(a, b []float64) (u, p float64) {
 	}
 	// Two-sided: p = 2·Φ(z) for z ≤ 0, via erfc.
 	p = math.Erfc(-z / math.Sqrt2)
-	if p > 1 {
+	if p > 1 || math.IsNaN(p) {
+		// NaN reaches here only via NaN observations (rank sums stay
+		// finite otherwise); report the conservative "no evidence" rather
+		// than a poison value that defeats every threshold comparison.
 		p = 1
 	}
 	return u, p

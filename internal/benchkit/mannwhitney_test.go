@@ -59,3 +59,48 @@ func TestMannWhitneyTies(t *testing.T) {
 		t.Errorf("tied p = %v out of range", p)
 	}
 }
+
+// TestMannWhitneyNeverNaN pins the degenerate-input contract: whatever
+// the samples, p must be a real number in [0, 1] — a NaN p is silently
+// false under every `p <= alpha` gate, so a regression would sail
+// through benchdiff unflagged.
+func TestMannWhitneyNeverNaN(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"both empty", nil, nil},
+		{"one empty", []float64{1, 2, 3}, nil},
+		{"single tied pair", []float64{7}, []float64{7}},
+		{"all tied", []float64{3, 3, 3, 3}, []float64{3, 3, 3, 3}},
+		{"all tied uneven", []float64{1, 1}, []float64{1, 1, 1, 1, 1}},
+		{"nan observation", []float64{1, math.NaN(), 3}, []float64{4, 5, 6}},
+		{"all nan", []float64{math.NaN()}, []float64{math.NaN()}},
+		{"inf observation", []float64{1, math.Inf(1)}, []float64{2, 3}},
+		{"normal", []float64{1, 2, 3, 4}, []float64{10, 11, 12, 13}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, p := MannWhitney(tc.a, tc.b)
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("p = %v, want a real value in [0, 1]", p)
+			}
+		})
+	}
+}
+
+// TestMannWhitneyAllTiedExact verifies the tie correction cancels the
+// variance exactly when every observation is equal, and the guard maps
+// that to p = 1 rather than a division-flavored NaN.
+func TestMannWhitneyAllTiedExact(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = 42, 42
+		}
+		if _, p := MannWhitney(a, b); p != 1 {
+			t.Errorf("n=%d all-tied p = %v, want exactly 1", n, p)
+		}
+	}
+}

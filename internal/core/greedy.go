@@ -3,10 +3,19 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"delprop/internal/relation"
 	"delprop/internal/view"
 )
+
+// probeCheckEvery bounds how many candidate probes a greedy scoring round
+// runs between cooperative cancellation checkpoints. One round probes
+// every remaining candidate, so on large instances a single round can run
+// far past the deadline if the solver only polls between rounds; checking
+// every few dozen probes keeps cancellation latency proportional to probe
+// cost, not to the candidate count.
+const probeCheckEvery = 64
 
 // Greedy is the baseline heuristic: repeatedly delete the candidate tuple
 // killing the most still-alive requested view tuples per unit of newly
@@ -19,13 +28,42 @@ import (
 // The default implementation scores candidates with the incremental view
 // maintainer (delete, inspect, undelete); Naive switches to re-deriving
 // survival from scratch per probe — kept as the DESIGN.md ablation.
+//
+// With Workers > 1 the per-round scoring loop — an embarrassingly
+// parallel O(candidates × Δ) probe — shards the candidate list across
+// that many goroutines, each probing against its own view.Maintainer
+// clone. Shards are contiguous ascending index ranges, every worker keeps
+// the lowest-index maximum of its shard, and the merge walks shards in
+// ascending order taking strictly greater scores only, so the chosen
+// candidate is the lowest-index maximum overall — exactly the serial
+// pick. Each worker runs the identical floating-point computation on
+// identical maintainer state, so scores are bit-equal to the serial ones
+// and the returned solution is byte-identical to the serial solver's.
+// Workers applies to the incremental path only; the naive ablation stays
+// serial.
 type Greedy struct {
 	// Naive disables incremental maintenance during scoring.
 	Naive bool
+	// Workers is the number of concurrent scoring goroutines; values < 2
+	// mean serial scoring.
+	Workers int
 }
 
 // Name implements Solver.
-func (g *Greedy) Name() string { return "greedy" }
+func (g *Greedy) Name() string {
+	if g.scoringWorkers() > 1 {
+		return "greedy-parallel"
+	}
+	return "greedy"
+}
+
+// scoringWorkers returns the effective parallel fan-out (1 = serial).
+func (g *Greedy) scoringWorkers() int {
+	if g.Naive || g.Workers < 2 {
+		return 1
+	}
+	return g.Workers
+}
 
 // Solve implements Solver. Greedy builds its solution constructively, so
 // an interruption carries no incumbent: a partial greedy prefix is not
@@ -35,6 +73,50 @@ func (g *Greedy) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		return g.solveNaive(ctx, p)
 	}
 	return g.solveIncremental(ctx, p)
+}
+
+// probeCandidate scores one candidate deletion against the maintainer
+// state at the start of the round: killed requested tuples, weighted
+// collateral, and derivations cut (ok=false when the probe cuts nothing).
+// The probe is delete/inspect/undelete, so m is unchanged on return.
+func probeCandidate(p *Problem, m *view.Maintainer, deltaRefs []view.TupleRef, id relation.TupleID, baseDerivs int) (score float64, ok bool) {
+	died := m.Delete(id)
+	killed := 0
+	extra := 0.0
+	for _, ref := range died {
+		if p.Delta.Contains(ref) {
+			killed++
+		} else {
+			extra += p.Weight(ref)
+		}
+	}
+	alive := 0
+	for _, ref := range deltaRefs {
+		alive += m.AliveDerivations(ref)
+	}
+	cut := baseDerivs - alive
+	m.Undelete(id)
+	if cut == 0 {
+		return 0, false
+	}
+	return (float64(killed) + float64(cut)/float64(baseDerivs+1)) / (1 + extra), true
+}
+
+// shardBounds splits n candidates into nw contiguous ascending ranges,
+// sizes differing by at most one; returns worker w's [lo, hi).
+func shardBounds(n, nw, w int) (lo, hi int) {
+	base, rem := n/nw, n%nw
+	lo = w * base
+	if w < rem {
+		lo += w
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
 }
 
 func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, error) {
@@ -60,6 +142,21 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 		}
 		return n
 	}
+
+	// Per-worker maintainer clones for parallel scoring, kept in lockstep
+	// with m by replaying every chosen deletion into each clone.
+	nw := g.scoringWorkers()
+	if nw > len(cands) && len(cands) > 0 {
+		nw = len(cands)
+	}
+	var clones []*view.Maintainer
+	if nw > 1 {
+		clones = make([]*view.Maintainer, nw)
+		for w := range clones {
+			clones[w] = m.Clone()
+		}
+	}
+
 	taken := make(map[string]bool)
 	for {
 		st.Checkpoint()
@@ -71,31 +168,15 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 			break
 		}
 		baseDerivs := aliveDerivs()
-		best, bestScore := -1, -1.0
-		for i, id := range cands {
-			if taken[id.Key()] {
-				continue
-			}
-			st.AddNodes(1)
-			died := m.Delete(id)
-			killed := 0
-			extra := 0.0
-			for _, ref := range died {
-				if p.Delta.Contains(ref) {
-					killed++
-				} else {
-					extra += p.Weight(ref)
-				}
-			}
-			cut := baseDerivs - aliveDerivs()
-			m.Undelete(id)
-			if cut == 0 {
-				continue
-			}
-			score := (float64(killed) + float64(cut)/float64(baseDerivs+1)) / (1 + extra)
-			if score > bestScore {
-				bestScore, best = score, i
-			}
+		var best int
+		var err error
+		if nw > 1 {
+			best, _, err = g.scoreParallel(ctx, p, clones, deltaRefs, cands, taken, baseDerivs)
+		} else {
+			best, _, err = g.scoreSerial(ctx, p, m, deltaRefs, cands, taken, baseDerivs)
+		}
+		if err != nil {
+			return nil, err
 		}
 		if best == -1 {
 			return nil, fmt.Errorf("core: greedy stuck with %d requested view tuples alive", bad)
@@ -103,9 +184,102 @@ func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, e
 		id := cands[best]
 		taken[id.Key()] = true
 		m.Delete(id)
+		for _, c := range clones {
+			c.Delete(id)
+		}
 		chosen = append(chosen, id)
 	}
 	return &Solution{Deleted: chosen}, nil
+}
+
+// scoreSerial runs one scoring round over the remaining candidates on the
+// caller's maintainer, checkpointing every probeCheckEvery probes.
+func (g *Greedy) scoreSerial(ctx context.Context, p *Problem, m *view.Maintainer, deltaRefs []view.TupleRef, cands []relation.TupleID, taken map[string]bool, baseDerivs int) (best int, bestScore float64, err error) {
+	st := StatsFrom(ctx)
+	best, bestScore = -1, -1.0
+	probes := 0
+	for i, id := range cands {
+		if taken[id.Key()] {
+			continue
+		}
+		st.AddNodes(1)
+		probes++
+		if probes%probeCheckEvery == 0 {
+			st.Checkpoint()
+			if err := checkCtx(ctx, g.Name(), nil); err != nil {
+				return -1, 0, err
+			}
+		}
+		score, ok := probeCandidate(p, m, deltaRefs, id, baseDerivs)
+		if !ok {
+			continue
+		}
+		if score > bestScore {
+			bestScore, best = score, i
+		}
+	}
+	return best, bestScore, nil
+}
+
+// scoreParallel runs one scoring round sharded across the worker clones.
+// Worker w probes the contiguous index range shardBounds(len(cands),
+// len(clones), w) against clones[w]; the merge walks shards in ascending
+// order keeping strictly greater scores, reproducing the serial
+// lowest-index tie-break exactly.
+func (g *Greedy) scoreParallel(ctx context.Context, p *Problem, clones []*view.Maintainer, deltaRefs []view.TupleRef, cands []relation.TupleID, taken map[string]bool, baseDerivs int) (best int, bestScore float64, err error) {
+	st := StatsFrom(ctx)
+	type shardResult struct {
+		idx   int
+		score float64
+		err   error
+	}
+	results := make([]shardResult, len(clones))
+	var wg sync.WaitGroup
+	for w := range clones {
+		lo, hi := shardBounds(len(cands), len(clones), w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			mw := clones[w]
+			localBest, localScore := -1, -1.0
+			probes := 0
+			for i := lo; i < hi; i++ {
+				id := cands[i]
+				if taken[id.Key()] {
+					continue
+				}
+				st.AddNodes(1)
+				probes++
+				if probes%probeCheckEvery == 0 {
+					st.Checkpoint()
+					if err := checkCtx(ctx, g.Name(), nil); err != nil {
+						results[w] = shardResult{idx: -1, err: err}
+						return
+					}
+				}
+				score, ok := probeCandidate(p, mw, deltaRefs, id, baseDerivs)
+				if !ok {
+					continue
+				}
+				if score > localScore {
+					localScore, localBest = score, i
+				}
+			}
+			results[w] = shardResult{idx: localBest, score: localScore}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best, bestScore = -1, -1.0
+	for w := range results {
+		r := results[w]
+		if r.err != nil {
+			return -1, 0, r.err
+		}
+		if r.idx >= 0 && r.score > bestScore {
+			bestScore, best = r.score, r.idx
+		}
+	}
+	return best, bestScore, nil
 }
 
 func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) {
@@ -173,12 +347,20 @@ func (g *Greedy) solveNaive(ctx context.Context, p *Problem) (*Solution, error) 
 		baseCollateral := collateralWeight()
 		baseDerivs := aliveDerivations()
 		best, bestScore := -1, -1.0
+		probes := 0
 		for i, id := range cands {
 			k := id.Key()
 			if deleted[k] {
 				continue
 			}
 			st.AddNodes(1)
+			probes++
+			if probes%probeCheckEvery == 0 {
+				st.Checkpoint()
+				if err := checkCtx(ctx, g.Name(), nil); err != nil {
+					return nil, err
+				}
+			}
 			deleted[k] = true
 			killed := len(bad) - len(aliveBad())
 			cut := baseDerivs - aliveDerivations()

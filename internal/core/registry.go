@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -33,19 +34,21 @@ func ExactSolvers() []Solver {
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]func() Solver{
-		"greedy":            func() Solver { return &Greedy{} },
-		"red-blue":          func() Solver { return &RedBlue{} },
-		"red-blue-exact":    func() Solver { return &RedBlueExact{} },
-		"primal-dual":       func() Solver { return &PrimalDual{} },
-		"low-deg":           func() Solver { return &LowDegTreeTwo{} },
-		"dp-tree":           func() Solver { return &DPTree{} },
-		"brute-force":       func() Solver { return &BruteForce{} },
-		"single-exact":      func() Solver { return &SingleTupleExact{} },
-		"balanced-red-blue": func() Solver { return &BalancedRedBlue{} },
-		"balanced-exact":    func() Solver { return &BalancedRedBlue{Exact: true} },
-		"portfolio":         func() Solver { return &Portfolio{} },
-		"unidimensional":    func() Solver { return &Unidimensional{} },
-		"local-search":      func() Solver { return &LocalSearch{} },
+		"greedy":             func() Solver { return &Greedy{} },
+		"greedy-parallel":    func() Solver { return &Greedy{Workers: runtime.GOMAXPROCS(0)} },
+		"red-blue":           func() Solver { return &RedBlue{} },
+		"red-blue-exact":     func() Solver { return &RedBlueExact{} },
+		"primal-dual":        func() Solver { return &PrimalDual{} },
+		"low-deg":            func() Solver { return &LowDegTreeTwo{} },
+		"dp-tree":            func() Solver { return &DPTree{} },
+		"brute-force":        func() Solver { return &BruteForce{} },
+		"single-exact":       func() Solver { return &SingleTupleExact{} },
+		"balanced-red-blue":  func() Solver { return &BalancedRedBlue{} },
+		"balanced-exact":     func() Solver { return &BalancedRedBlue{Exact: true} },
+		"portfolio":          func() Solver { return &Portfolio{} },
+		"portfolio-parallel": func() Solver { return &Portfolio{Parallel: true} },
+		"unidimensional":     func() Solver { return &Unidimensional{} },
+		"local-search":       func() Solver { return &LocalSearch{} },
 	}
 )
 

@@ -188,6 +188,34 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	return snap
 }
 
+// Merge folds another solve's counters into s: the atomic counters add,
+// the incumbent events append, and the strongest lower-bound certificate
+// composes through ObserveLowerBound. The achieved objective does not
+// merge — it describes one specific returned solution, which the caller
+// picks itself. Portfolio uses Merge to give each racing member a private
+// child Stats (so per-member boundaries stay honest) and still report
+// aggregate numbers on the parent. Safe to call while o is still being
+// written (the snapshot is atomic per counter), but the canonical use is
+// after the member finished.
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	snap := o.Snapshot()
+	s.nodes.Add(snap.NodesExpanded)
+	s.pruned.Add(snap.BranchesPruned)
+	s.checkpoints.Add(snap.Checkpoints)
+	s.restarts.Add(snap.Restarts)
+	if len(snap.Incumbents) > 0 {
+		s.mu.Lock()
+		s.incumbents = append(s.incumbents, snap.Incumbents...)
+		s.mu.Unlock()
+	}
+	if snap.LowerBound != nil {
+		s.ObserveLowerBound(*snap.LowerBound)
+	}
+}
+
 // statsKey carries the *Stats through the solve context.
 type statsKey struct{}
 
@@ -196,6 +224,12 @@ type statsKey struct{}
 func WithStats(ctx context.Context) (context.Context, *Stats) {
 	st := &Stats{}
 	return context.WithValue(ctx, statsKey{}, st), st
+}
+
+// withStatsValue installs an existing Stats in the context; Portfolio uses
+// it to hand each racing member its own child Stats.
+func withStatsValue(ctx context.Context, st *Stats) context.Context {
+	return context.WithValue(ctx, statsKey{}, st)
 }
 
 // StatsFrom extracts the solve's Stats from the context, or nil when the

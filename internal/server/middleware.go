@@ -30,6 +30,12 @@ type Config struct {
 	// MaxResilienceBudget caps the per-request resilience candidate
 	// budget (the exact hitting-set search is exponential in it).
 	MaxResilienceBudget int
+	// MaxBatchItems caps how many instances one POST /solve/batch request
+	// may carry.
+	MaxBatchItems int
+	// MaxBatchWorkers caps a batch's concurrent item solves (and is the
+	// default when the request names no worker count).
+	MaxBatchWorkers int
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 	// Metrics receives the server's counters, gauges and histograms; nil
@@ -48,6 +54,8 @@ const (
 	DefaultMaxConcurrent      = 64
 	DefaultResilienceBudget   = 24
 	DefaultMaxResilienceLimit = 28
+	DefaultMaxBatchItems      = 64
+	DefaultMaxBatchWorkers    = 4
 )
 
 // DefaultConfig returns the production defaults documented in
@@ -72,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxResilienceBudget <= 0 {
 		c.MaxResilienceBudget = DefaultMaxResilienceLimit
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if c.MaxBatchWorkers <= 0 {
+		c.MaxBatchWorkers = DefaultMaxBatchWorkers
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()

@@ -33,6 +33,14 @@ const (
 	metricUptime           = "delprop_process_uptime_seconds"
 	metricGoroutines       = "delprop_goroutines"
 	metricHeapInuse        = "delprop_heap_inuse_bytes"
+
+	// Parallel solve engine (portfolio races + batch worker pool).
+	metricParallelRaces     = "delprop_parallel_races_total"
+	metricParallelCancelled = "delprop_parallel_cancelled_losers_total"
+	metricBatchWorkersBusy  = "delprop_parallel_batch_workers_busy"
+	metricBatchWorkerMs     = "delprop_parallel_batch_worker_ms_total"
+	metricBatchItems        = "delprop_parallel_batch_items_total"
+	metricBatchRequests     = "delprop_parallel_batch_requests_total"
 )
 
 // qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
@@ -91,6 +99,43 @@ func (a *api) observeSolve(solver, outcome string, dur time.Duration, snap core.
 			"Observed approximation ratio (achieved objective / proven lower bound) per solve, by solver. Ratio 1 is a certified-optimal solve.",
 			qualityRatioBuckets, lb).Observe(*snap.QualityRatio)
 	}
+}
+
+// observeRace records one finished portfolio race: who won (and whether
+// the win was a proven-optimality early cancellation) and how many losing
+// members were cancelled before completion.
+func (a *api) observeRace(rs core.RaceSnapshot) {
+	winner := rs.Winner
+	if winner == "" {
+		winner = "none"
+	}
+	a.cfg.Metrics.Counter(metricParallelRaces,
+		"Portfolio races finished, by winning solver and whether the win was a proven-optimality early exit.",
+		telemetry.Labels{"winner": winner, "proven": strconv.FormatBool(rs.Proven)}).Inc()
+	a.cfg.Metrics.Counter(metricParallelCancelled,
+		"Portfolio members cancelled (or skipped) before completion because another member already held a provably optimal solution.",
+		nil).Add(int64(rs.CancelledLosers))
+}
+
+// observeBatch records one finished POST /solve/batch request.
+func (a *api) observeBatch(resp BatchResponse, dur time.Duration) {
+	reg := a.cfg.Metrics
+	reg.Counter(metricBatchRequests,
+		"Batch solve requests finished, by completeness (full or partial).",
+		telemetry.Labels{"partial": strconv.FormatBool(resp.Partial)}).Inc()
+	for _, c := range []struct {
+		outcome string
+		n       int
+	}{{"ok", resp.Completed}, {"error", resp.Failed}, {"skipped", resp.Skipped}} {
+		if c.n > 0 {
+			reg.Counter(metricBatchItems,
+				"Batch items processed, by outcome (ok, error, skipped).",
+				telemetry.Labels{"outcome": c.outcome}).Add(int64(c.n))
+		}
+	}
+	reg.Histogram("delprop_parallel_batch_duration_seconds",
+		"Wall-clock latency of whole batch requests in seconds.",
+		nil, nil).Observe(dur.Seconds())
 }
 
 // registerBuildInfo publishes the delprop_build_info gauge (constant 1,

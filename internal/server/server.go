@@ -52,6 +52,7 @@ func NewHandler(cfg Config) *Server {
 	a.registerBuildInfo()
 	mux := http.NewServeMux()
 	mux.Handle("POST /solve", a.compute(a.handleSolve))
+	mux.Handle("POST /solve/batch", a.compute(a.handleSolveBatch))
 	mux.Handle("POST /classify", a.compute(a.handleClassify))
 	mux.Handle("POST /lineage", a.compute(a.handleLineage))
 	mux.Handle("POST /resilience", a.compute(a.handleResilience))
@@ -143,6 +144,9 @@ type SolveResponse struct {
 	// PhaseMs maps lifecycle phases (parse, views, classify, solve,
 	// evaluate) to their duration in fractional milliseconds.
 	PhaseMs map[string]float64 `json:"phaseMs,omitempty"`
+	// Race reports how a portfolio race went (winner, cancelled losers,
+	// per-member counters); absent when the solver ran no portfolio.
+	Race *core.RaceSnapshot `json:"race,omitempty"`
 }
 
 // Machine-readable error codes (see docs/OPERATIONS.md for the taxonomy).
@@ -157,6 +161,7 @@ const (
 	codeInternal          = "internal"
 	codeNotFound          = "not_found"
 	codeSolverUnstoppable = "solver_unstoppable"
+	codeBatchTooLarge     = "batch_too_large"
 )
 
 type errorResponse struct {
@@ -321,34 +326,58 @@ func (a *api) runSolve(ctx context.Context, reqID string, solver core.Solver, p 
 	}
 }
 
+// solveError is a failed solve ready for HTTP rendering: status, machine
+// code, and the underlying error. Batch items reuse it without a
+// ResponseWriter in hand.
+type solveError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *solveError) write(w http.ResponseWriter, reqID string) {
+	writeErr(w, e.status, e.code, e.err, reqID)
+}
+
 func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	reqID := requestID(r)
 	var req InstanceRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	resp, serr := a.solveInstance(r.Context(), reqID, &req)
+	if serr != nil {
+		serr.write(w, reqID)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveInstance runs one solve end to end — parse, materialize, classify,
+// supervised solve, evaluate — under ctx plus the request's own deadline,
+// recording traces, metrics and the structured solve log line. It is the
+// shared engine behind POST /solve (ctx = the request context) and each
+// POST /solve/batch item (ctx = the batch context, reqID = "<batch>.<i>").
+func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequest) (*SolveResponse, *solveError) {
 	deadline, err := a.solveDeadline(req.Timeout)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
-		return
+		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
 	tr := a.cfg.Tracer.Start("solve")
 	defer tr.Finish()
 	tr.SetAttr("requestId", reqID)
 
 	endParse := tr.Span("parse")
-	db, queries, delta, err := parseInstance(&req)
+	db, queries, delta, err := parseInstance(req)
 	endParse()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
-		return
+		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
 	endViews := tr.Span("views")
-	p, err := materializeProblem(&req, db, queries, delta)
+	p, err := materializeProblem(req, db, queries, delta)
 	endViews()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
-		return
+		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
 	// Instance-size attributes: |D| source tuples, m queries, Σ|ΔVi|
 	// requested view deletions.
@@ -365,14 +394,14 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	solver, err := PickSolver(name, p)
 	endClassify()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeUnknownSolver, err, reqID)
-		return
+		return nil, &solveError{http.StatusBadRequest, codeUnknownSolver, err}
 	}
 	tr.SetAttr("solver", solver.Name())
 
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
 	ctx, stats := core.WithStats(ctx)
+	ctx, race := core.WithRace(ctx)
 	endSolve := tr.Span("solve")
 	solveStart := time.Now()
 	out, stopped := a.runSolve(ctx, reqID, solver, p, deadline)
@@ -404,18 +433,16 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if !stopped {
 		finish("unstoppable")
-		writeErr(w, http.StatusGatewayTimeout, codeSolverUnstoppable,
-			fmt.Errorf("solver %s did not stop within the %v deadline", solver.Name(), deadline), reqID)
-		return
+		return nil, &solveError{http.StatusGatewayTimeout, codeSolverUnstoppable,
+			fmt.Errorf("solver %s did not stop within the %v deadline", solver.Name(), deadline)}
 	}
 	sol, partial, interrupted := out.sol, false, ""
 	if out.err != nil {
 		switch {
 		case errors.Is(out.err, errSolverPanic):
 			finish("panic")
-			writeErr(w, http.StatusInternalServerError, codeInternal,
-				fmt.Errorf("internal error (request %s)", reqID), reqID)
-			return
+			return nil, &solveError{http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("internal error (request %s)", reqID)}
 		// Also match raw context errors: the core suite always wraps them in
 		// *Interrupted, but a registered third-party solver may not.
 		case errors.Is(out.err, core.ErrDeadline), errors.Is(out.err, core.ErrCanceled),
@@ -431,8 +458,7 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 					status, code, outcome = statusClientClosedRequest, codeCanceled, "canceled"
 				}
 				finish(outcome)
-				writeErr(w, status, code, out.err, reqID)
-				return
+				return nil, &solveError{status, code, out.err}
 			}
 			sol, partial = inc, true
 			interrupted = "deadline"
@@ -441,8 +467,7 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 			}
 		default:
 			finish("error")
-			writeErr(w, http.StatusUnprocessableEntity, codeSolverFailed, out.err, reqID)
-			return
+			return nil, &solveError{http.StatusUnprocessableEntity, codeSolverFailed, out.err}
 		}
 	}
 	endEvaluate := tr.Span("evaluate")
@@ -480,6 +505,11 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// finish() see the evaluate-phase objective and bound.
 	snap = stats.Snapshot()
 	endEvaluate()
+	if race.Ran() {
+		rs := race.Snapshot()
+		resp.Race = &rs
+		a.observeRace(rs)
+	}
 	if partial {
 		finish("partial")
 	} else {
@@ -492,7 +522,7 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"solve":    float64(solveDur) / float64(time.Millisecond),
 		"evaluate": float64(tr.SpanDuration("evaluate")) / float64(time.Millisecond),
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return &resp, nil
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client

@@ -65,6 +65,38 @@ func NewMaintainer(views []*View) *Maintainer {
 	return m
 }
 
+// Clone returns an independent copy of the maintainer: the clone shares
+// the provenance indexes built by NewMaintainer (views, occ, refs — all
+// immutable after construction) and deep-copies the mutable deletion
+// state, so Delete/Undelete on the clone never touch the original.
+// Parallel greedy scoring hands one clone per worker; cloning is O(state)
+// while re-indexing with NewMaintainer is O(provenance).
+func (m *Maintainer) Clone() *Maintainer {
+	c := &Maintainer{
+		views:      m.views,
+		derivAlive: make(map[string]int, len(m.derivAlive)),
+		derivHit:   make(map[string][]int, len(m.derivHit)),
+		occ:        m.occ,
+		deleted:    make(map[string]bool, len(m.deleted)),
+		refs:       m.refs,
+		deadOrder:  append([]TupleRef(nil), m.deadOrder...),
+		dead:       make(map[string]bool, len(m.dead)),
+	}
+	for k, v := range m.derivAlive {
+		c.derivAlive[k] = v
+	}
+	for k, hits := range m.derivHit {
+		c.derivHit[k] = append([]int(nil), hits...)
+	}
+	for k := range m.deleted {
+		c.deleted[k] = true
+	}
+	for k := range m.dead {
+		c.dead[k] = true
+	}
+	return c
+}
+
 // Delete applies one source-tuple deletion and returns the view tuples
 // that died as a consequence (empty if none, or if the tuple was already
 // deleted).

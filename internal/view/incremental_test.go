@@ -80,6 +80,50 @@ func TestMaintainerUnknownRef(t *testing.T) {
 	}
 }
 
+// TestMaintainerClone: a clone carries the original's deletion state but
+// mutates independently in both directions.
+func TestMaintainerClone(t *testing.T) {
+	db := fig1DB()
+	views, _ := Materialize([]*cq.Query{cq.MustParse("Q3(x, z) :- T1(x, y), T2(y, z, w)")}, db)
+	m := NewMaintainer(views)
+	id1 := relation.TupleID{Relation: "T1", Tuple: tup("John", "TKDE")}
+	id2 := relation.TupleID{Relation: "T1", Tuple: tup("John", "TODS")}
+	johnXML := TupleRef{View: 0, Tuple: tup("John", "XML")}
+
+	m.Delete(id1)
+	c := m.Clone()
+	if c.DeletedCount() != 1 || c.DeadCount() != m.DeadCount() {
+		t.Fatalf("clone state: %d deleted, %d dead", c.DeletedCount(), c.DeadCount())
+	}
+
+	// Mutating the clone leaves the original untouched.
+	if died := c.Delete(id2); len(died) != 1 || died[0].Tuple.String() != "(John,XML)" {
+		t.Errorf("clone delete died = %v", died)
+	}
+	if !m.Alive(johnXML) {
+		t.Error("clone mutation leaked into original")
+	}
+	if m.DeletedCount() != 1 {
+		t.Errorf("original deleted count = %d, want 1", m.DeletedCount())
+	}
+
+	// Mutating the original leaves the clone's view of id2 intact.
+	m.Undelete(id1)
+	if c.Alive(johnXML) {
+		t.Error("original mutation leaked into clone")
+	}
+	// Rolling the clone all the way back restores liveness without
+	// touching the original's counts.
+	c.Undelete(id1)
+	c.Undelete(id2)
+	if !c.Alive(johnXML) || c.DeadCount() != 0 || c.DeletedCount() != 0 {
+		t.Errorf("clone rollback: alive=%v dead=%d deleted=%d", c.Alive(johnXML), c.DeadCount(), c.DeletedCount())
+	}
+	if m.DeletedCount() != 0 || m.DeadCount() != 0 {
+		t.Errorf("original counts after its own rollback: %d deleted, %d dead", m.DeletedCount(), m.DeadCount())
+	}
+}
+
 // TestMaintainerMatchesReEvaluation drives a random delete/undelete
 // sequence and cross-checks every view tuple's liveness against full
 // re-evaluation after every step.

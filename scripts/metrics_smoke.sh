@@ -30,12 +30,34 @@ curl -sf -X POST "http://$ADDR/solve" -H 'Content-Type: application/json' -d '{
   "solver": "brute-force"
 }' | grep -q '"stats"' || { echo "solve response carries no stats"; exit 1; }
 
+# A portfolio race: the parallel members share an incumbent bound and the
+# response must carry the race snapshot.
+curl -sf -X POST "http://$ADDR/solve" -H 'Content-Type: application/json' -d '{
+  "database": "relation T1(AuName*, Journal*)\nT1(Joe, TKDE)\nT1(John, TKDE)\nrelation T2(Journal*, Topic*, Papers)\nT2(TKDE, XML, 30)\n",
+  "queries": "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+  "deletions": "Q4(John, TKDE, XML)",
+  "solver": "portfolio-parallel"
+}' | grep -q '"race"' || { echo "portfolio solve response carries no race snapshot"; exit 1; }
+
+# A batch of two instances through the bounded worker pool.
+curl -sf -X POST "http://$ADDR/solve/batch" -H 'Content-Type: application/json' -d '{
+  "workers": 2,
+  "items": [
+    {"database": "relation T1(AuName*, Journal*)\nT1(Joe, TKDE)\nT1(John, TKDE)\nrelation T2(Journal*, Topic*, Papers)\nT2(TKDE, XML, 30)\n",
+     "queries": "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+     "deletions": "Q4(John, TKDE, XML)"},
+    {"database": "relation T1(AuName*, Journal*)\nT1(Joe, TKDE)\nT1(John, TKDE)\nrelation T2(Journal*, Topic*, Papers)\nT2(TKDE, XML, 30)\n",
+     "queries": "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+     "deletions": "Q4(Joe, TKDE, XML)"}
+  ]
+}' | grep -q '"completed":2' || { echo "batch solve did not complete both items"; exit 1; }
+
 METRICS="$(curl -sf "http://$OPS_ADDR/metrics")"
 fail=0
 for want in \
     'delprop_solve_duration_seconds_count{solver="brute-force"} 1' \
     'delprop_solves_total{outcome="ok",solver="brute-force"} 1' \
-    'delprop_http_requests_total{method="POST",path="/solve",status="200"} 1'
+    'delprop_http_requests_total{method="POST",path="/solve",status="200"} 2'
 do
     if ! grep -qF "$want" <<<"$METRICS"; then
         echo "missing metric line: $want"
@@ -80,6 +102,26 @@ do
         fail=1
     fi
 done
+# Parallel solve engine: the portfolio race counter and the batch pool
+# counters must have moved.
+if ! grep -E '^delprop_parallel_races_total\{proven="(true|false)",winner="[^"]+"\} [1-9]' <<<"$METRICS" >/dev/null; then
+    echo "missing or zero delprop_parallel_races_total"
+    fail=1
+fi
+for want in \
+    'delprop_parallel_batch_requests_total{partial="false"} 1' \
+    'delprop_parallel_batch_items_total{outcome="ok"} 2' \
+    'delprop_parallel_batch_duration_seconds_count 1'
+do
+    if ! grep -qF "$want" <<<"$METRICS"; then
+        echo "missing batch metric line: $want"
+        fail=1
+    fi
+done
+if ! grep -E '^delprop_parallel_batch_worker_ms_total [0-9]' <<<"$METRICS" >/dev/null; then
+    echo "missing delprop_parallel_batch_worker_ms_total counter"
+    fail=1
+fi
 if [ "$fail" -ne 0 ]; then
     echo "---- /metrics ----"
     echo "$METRICS"
