@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke chaos-smoke clean
 
 all: build test
 
@@ -90,6 +90,13 @@ audit: lint
 # /metrics and asserts the search counters moved (docs/OBSERVABILITY.md).
 smoke:
 	./scripts/metrics_smoke.sh
+
+# End-to-end resilience check: boots delpropd with the chaos solvers and
+# a tenant policy, walks a circuit breaker through trip → reroute →
+# half-open probe → recovery, and exercises the rate-limit/degrade/shed
+# ladder (docs/OPERATIONS.md "Admission control and degradation").
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean -testcache

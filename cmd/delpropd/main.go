@@ -6,10 +6,14 @@
 //	         [-max-body 4194304] [-max-concurrent 64] [-shutdown-grace 30s]
 //	         [-max-batch-items 64] [-max-batch-workers 4]
 //	         [-ops-addr :9090] [-pprof] [-drain-delay 0s]
+//	         [-policy policy.json] [-shed-queue-depth 16]
+//	         [-shed-queue-wait 500ms] [-degraded-lanes 4]
+//	         [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	         [-fault-solvers]
 //
 // Endpoints (JSON; see internal/server):
 //
-//	POST /solve       {database, queries, deletions, solver?, weights?, timeout?}
+//	POST /solve       {database, queries, deletions, solver?, weights?, timeout?, tenant?}
 //	POST /solve/batch {items: [...], timeout?, workers?}
 //	POST /classify    {database, queries}
 //	POST /lineage     {database, queries, tuple}
@@ -17,20 +21,36 @@
 //	GET  /healthz
 //	GET  /metrics
 //	GET  /debug/traces
+//	GET  /debug/breakers
 //
 // With -ops-addr set, a second listener serves the operational surface
-// (/metrics, /debug/traces, /healthz, and /debug/pprof/* when -pprof is
-// also set) so profiling and scraping never compete with public traffic.
+// (/metrics, /debug/traces, /debug/breakers, /healthz, and /debug/pprof/*
+// when -pprof is also set) so profiling and scraping never compete with
+// public traffic.
 //
-// The server enforces per-request solve deadlines, request body limits and
-// a concurrency cap with 429 load shedding, recovers solver panics into
-// 500 JSON responses, and drains in-flight solves on SIGINT/SIGTERM before
-// exiting; during the drain /healthz reports 503 "draining" so load
+// The server enforces per-request solve deadlines, request body limits,
+// and tenant-aware admission control: -policy loads a JSON policy file
+// (docs/FORMATS.md) attaching rate limits, concurrency quotas, deadline
+// caps, solver allow-lists and priorities per tenant, and SIGHUP reloads
+// it in place (a bad file keeps the previous policy). Saturation walks a
+// graceful-degradation ladder — bounded queueing for high-priority
+// tenants, forced downgrade to the cheap solver (responses carry
+// degraded:true), then 429 with a Retry-After computed from live solve
+// latency. Per-solver circuit breakers trip after consecutive
+// panic/timeout/unstoppable outcomes and route traffic to the fallback
+// solver while half-open probes test recovery. Solver panics become 500
+// JSON responses, and in-flight solves drain on SIGINT/SIGTERM before
+// exit; during the drain /healthz reports 503 "draining" so load
 // balancers stop routing (-drain-delay holds the window open before
-// Shutdown begins). Operational semantics — flags, the timeout/429
-// contract, the graceful-shutdown sequence and the error-response taxonomy
-// — are documented in docs/OPERATIONS.md; metric names and the trace
-// schema are in docs/OBSERVABILITY.md.
+// Shutdown begins). Operational semantics — flags, the admission ladder,
+// the graceful-shutdown sequence and the error-response taxonomy — are
+// documented in docs/OPERATIONS.md; metric names and the trace schema are
+// in docs/OBSERVABILITY.md.
+//
+// -fault-solvers additionally registers chaos solvers (chaos-flaky,
+// chaos-block, chaos-panic, chaos-ignore) that misbehave on purpose;
+// scripts/chaos_smoke.sh uses them to exercise the breaker and ladder
+// end to end. Never set it in production.
 package main
 
 import (
@@ -43,9 +63,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"delprop/internal/admission"
+	"delprop/internal/core"
 	"delprop/internal/server"
 )
 
@@ -54,6 +77,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "delpropd:", err)
 		os.Exit(1)
 	}
+}
+
+// flakyFailures is how many times chaos-flaky panics before healing; the
+// chaos smoke script pairs it with -breaker-threshold 3 so the breaker
+// trips exactly when the solver runs out of failures.
+const flakyFailures = 3
+
+// flakySolver panics on its first flakyFailures calls, then delegates to
+// the greedy solver forever after — a solver that "recovers", so the
+// chaos smoke can watch a breaker trip, reroute, and close again through
+// a half-open probe.
+type flakySolver struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flakySolver) Name() string { return "chaos-flaky" }
+
+func (f *flakySolver) Solve(ctx context.Context, p *core.Problem) (*core.Solution, error) {
+	f.mu.Lock()
+	n := f.calls
+	f.calls++
+	f.mu.Unlock()
+	if n < flakyFailures {
+		panic(fmt.Sprintf("chaos-flaky: injected panic %d/%d", n+1, flakyFailures))
+	}
+	g := &core.Greedy{}
+	return g.Solve(ctx, p)
+}
+
+var registerChaosOnce sync.Once
+
+// registerChaosSolvers mounts the fault-injection solvers behind the
+// -fault-solvers flag. One shared flaky instance keeps its call count
+// across requests, which is the whole point.
+func registerChaosSolvers() {
+	registerChaosOnce.Do(func() {
+		flaky := &flakySolver{}
+		core.RegisterSolver("chaos-flaky", func() core.Solver { return flaky })
+		core.RegisterSolver("chaos-block", func() core.Solver { return &core.Faulty{Mode: core.FaultBlock} })
+		core.RegisterSolver("chaos-panic", func() core.Solver { return &core.Faulty{Mode: core.FaultPanic} })
+		core.RegisterSolver("chaos-ignore", func() core.Solver {
+			return &core.Faulty{Mode: core.FaultIgnoreCtx, Stall: 3 * time.Second}
+		})
+	})
 }
 
 // run starts the server and blocks until ctx is done or SIGINT/SIGTERM
@@ -71,14 +139,33 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxBatchItems := fs.Int("max-batch-items", server.DefaultMaxBatchItems, "cap on instances per POST /solve/batch request")
 	maxBatchWorkers := fs.Int("max-batch-workers", server.DefaultMaxBatchWorkers, "cap on concurrent item solves inside one batch (and the default pool size)")
 	shutdownGrace := fs.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
-	opsAddr := fs.String("ops-addr", "", "listen address for the operational endpoints (/metrics, /debug/traces, /healthz; empty disables the second listener)")
+	opsAddr := fs.String("ops-addr", "", "listen address for the operational endpoints (/metrics, /debug/traces, /debug/breakers, /healthz; empty disables the second listener)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops listener (requires -ops-addr)")
 	drainDelay := fs.Duration("drain-delay", 0, "how long to keep serving after flipping /healthz to 503 draining, so load balancers observe it before connections close")
+	policyPath := fs.String("policy", "", "tenant admission policy file (JSON, docs/FORMATS.md); SIGHUP reloads it, empty runs the permissive default policy")
+	shedQueueDepth := fs.Int("shed-queue-depth", server.DefaultShedQueueDepth, "bounded queue for high-priority tenants waiting out saturation (ladder rung 1)")
+	shedQueueWait := fs.Duration("shed-queue-wait", server.DefaultShedQueueWait, "how long a queued high-priority request waits for a slot before falling down the ladder")
+	degradedLanes := fs.Int("degraded-lanes", server.DefaultDegradedLanes, "concurrent downgraded solves the overload ladder may run (rung 2)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive hard solver failures (panic/timeout/unstoppable) that trip the solver's circuit breaker (0 = default, negative disables breakers)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before half-open probes test recovery (0 = default)")
+	faultSolvers := fs.Bool("fault-solvers", false, "register chaos solvers (chaos-flaky, chaos-block, chaos-panic, chaos-ignore) for fault-injection smoke tests; never in production")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *enablePprof && *opsAddr == "" {
 		return errors.New("-pprof requires -ops-addr")
+	}
+	if *faultSolvers {
+		registerChaosSolvers()
+	}
+
+	var engine *admission.Engine
+	if *policyPath != "" {
+		pol, err := admission.LoadPolicyFile(*policyPath)
+		if err != nil {
+			return err
+		}
+		engine = admission.NewEngine(pol)
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -90,6 +177,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxResilienceBudget: *maxResilience,
 		MaxBatchItems:       *maxBatchItems,
 		MaxBatchWorkers:     *maxBatchWorkers,
+		Admission:           engine,
+		ShedQueueDepth:      *shedQueueDepth,
+		ShedQueueWait:       *shedQueueWait,
+		DegradedLanes:       *degradedLanes,
+		BreakerThreshold:    *breakerThreshold,
+		BreakerCooldown:     *breakerCooldown,
 		Logger:              logger,
 	})
 	srv := &http.Server{
@@ -136,6 +229,34 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the admission policy without dropping in-flight
+	// quota accounting (tenants that keep their name keep their slots). A
+	// file that fails to parse keeps the previous policy running.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+			}
+			if *policyPath == "" {
+				logger.Warn("SIGHUP received but no -policy file to reload")
+				continue
+			}
+			pol, err := admission.LoadPolicyFile(*policyPath)
+			if err != nil {
+				logger.Error("policy reload failed; keeping the previous policy",
+					"path", *policyPath, "err", err)
+				continue
+			}
+			app.Admission().SetPolicy(pol)
+			logger.Info("policy reloaded", "path", *policyPath, "tenants", len(pol.Tenants))
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -151,4 +151,119 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-pprof"}, nil); err == nil {
 		t.Fatal("-pprof without -ops-addr accepted")
 	}
+	// A broken policy file must abort startup, not run permissive.
+	bad := t.TempDir() + "/policy.json"
+	if err := os.WriteFile(bad, []byte(`{"tenants": [{"name": ""}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-policy", bad}, nil); err == nil {
+		t.Fatal("invalid policy file accepted")
+	}
+	if err := run(context.Background(), []string{"-policy", "/nonexistent/policy.json"}, nil); err == nil {
+		t.Fatal("missing policy file accepted")
+	}
+}
+
+// postSolve sends one solve with an optional tenant header and returns the
+// status code.
+func postSolve(t *testing.T, addr, tenant, solver string) int {
+	t.Helper()
+	req := server.InstanceRequest{
+		Database:  testDB,
+		Queries:   "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+		Deletions: "Q4(John, TKDE, XML)",
+		Solver:    solver,
+		Timeout:   "5s",
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, fmt.Sprintf("http://%s/solve", addr), bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hreq.Header.Set("X-Delprop-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestPolicyFileAndSIGHUPReload: -policy loads tenant limits at startup and
+// SIGHUP swaps in the rewritten file without a restart; a fault-solver
+// request proves -fault-solvers mounted the chaos registry.
+func TestPolicyFileAndSIGHUPReload(t *testing.T) {
+	path := t.TempDir() + "/policy.json"
+	// rl gets a one-shot bucket that effectively never refills.
+	if err := os.WriteFile(path,
+		[]byte(`{"tenants": [{"name": "rl", "ratePerSec": 0.0001, "burst": 1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(context.Background(),
+			[]string{"-addr", "127.0.0.1:0", "-shutdown-grace", "5s", "-policy", path, "-fault-solvers"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	if status := postSolve(t, addr, "rl", ""); status != http.StatusOK {
+		t.Fatalf("first rl request status = %d", status)
+	}
+	if status := postSolve(t, addr, "rl", ""); status != http.StatusTooManyRequests {
+		t.Fatalf("over-rate rl request status = %d, want 429", status)
+	}
+
+	// -fault-solvers mounted the chaos registry: an injected panic becomes
+	// a contained 500.
+	if status := postSolve(t, addr, "", "chaos-panic"); status != http.StatusInternalServerError {
+		t.Fatalf("chaos-panic status = %d, want 500", status)
+	}
+
+	// Rewrite the policy (no rate limit) and reload via SIGHUP.
+	if err := os.WriteFile(path, []byte(`{"tenants": [{"name": "rl"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if status := postSolve(t, addr, "rl", ""); status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reload never took effect; rl still rate-limited")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The reloaded policy holds: several back-to-back requests all pass.
+	for i := 0; i < 3; i++ {
+		if status := postSolve(t, addr, "rl", ""); status != http.StatusOK {
+			t.Fatalf("post-reload request %d status = %d", i, status)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
 }

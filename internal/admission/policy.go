@@ -1,0 +1,317 @@
+// Package admission is the declarative tenant-QoS layer in front of the
+// solver stack: a policy file classifies each request to a tenant and
+// attaches rate limits, concurrency quotas, deadline caps, solver
+// allow-lists and a priority class; the Engine enforces them; and a set of
+// per-solver circuit breakers isolates solvers that keep panicking or
+// timing out. The server's middleware consults the Engine before running a
+// request and uses the verdict to drive its graceful-degradation ladder
+// (bounded queueing for high-priority tenants, forced downgrade to the
+// cheap solver, or 429 with a computed Retry-After). See
+// docs/OPERATIONS.md "Admission control and degradation" for the
+// operational contract and docs/FORMATS.md for the policy-file grammar.
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Priority orders tenants for the overload ladder: high-priority tenants
+// may wait in the bounded queue for a slot, low-priority tenants go
+// straight to downgrade-or-shed.
+type Priority int
+
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+// ParsePriority maps the policy-file spelling to a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return PriorityNormal, fmt.Errorf("priority: unknown value %q (want low, normal or high)", s)
+}
+
+// String renders the policy-file spelling.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	}
+	return "normal"
+}
+
+// Defaults applied when a policy (or tenant) leaves a knob unset.
+const (
+	// DefaultTenantHeader names the HTTP header carrying the tenant.
+	DefaultTenantHeader = "X-Delprop-Tenant"
+	// DefaultTenantName is the tenant unmatched requests classify to when
+	// the policy names no defaultTenant.
+	DefaultTenantName = "default"
+	// DefaultDegradeSolver is the cheap solver overloaded requests are
+	// downgraded to when a tenant names none.
+	DefaultDegradeSolver = "greedy"
+	// DefaultDegradeDeadline is the tightened deadline applied to
+	// downgraded solves when a tenant names none.
+	DefaultDegradeDeadline = 2 * time.Second
+)
+
+// TenantPolicy is one tenant's declarative rules. A zero limit means
+// "unlimited" for that dimension. Values are immutable once the policy is
+// installed in an Engine; reload replaces the whole policy.
+type TenantPolicy struct {
+	// Name identifies the tenant (the header/request-field value).
+	Name string
+	// Priority drives the overload ladder (see Priority).
+	Priority Priority
+	// RatePerSec and Burst parameterize the tenant's token bucket; a zero
+	// rate disables rate limiting for the tenant.
+	RatePerSec float64
+	Burst      int
+	// MaxConcurrent bounds the tenant's simultaneously-admitted compute
+	// requests; 0 means unlimited.
+	MaxConcurrent int
+	// MaxDeadline caps the per-request solve deadline; 0 means the server
+	// cap alone applies.
+	MaxDeadline time.Duration
+	// MaxResilienceBudget caps the resilienceBudget request field; 0 means
+	// the server cap alone applies.
+	MaxResilienceBudget int
+	// Solvers is the allow-list of requestable solver names ("auto"
+	// included); empty allows every registered solver.
+	Solvers []string
+	// Degrade controls the overload ladder's downgrade rung: when false the
+	// tenant's overloaded requests are shed with 429 instead of being
+	// downgraded to the cheap solver.
+	Degrade bool
+	// DegradeSolver names the solver downgraded requests run
+	// (DefaultDegradeSolver when empty).
+	DegradeSolver string
+	// DegradeDeadline is the tightened deadline for downgraded solves
+	// (DefaultDegradeDeadline when zero).
+	DegradeDeadline time.Duration
+}
+
+// AllowsSolver reports whether the tenant may request the named solver.
+// The allow-list matches the requested name — "auto" is a name like any
+// other — so operators reason about what clients ask for, not what the
+// router resolves.
+func (t *TenantPolicy) AllowsSolver(name string) bool {
+	if t == nil || len(t.Solvers) == 0 {
+		return true
+	}
+	for _, s := range t.Solvers {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradeSolverName returns the tenant's downgrade solver, defaulted.
+func (t *TenantPolicy) DegradeSolverName() string {
+	if t == nil || t.DegradeSolver == "" {
+		return DefaultDegradeSolver
+	}
+	return t.DegradeSolver
+}
+
+// DegradeDeadlineOrDefault returns the tightened downgrade deadline.
+func (t *TenantPolicy) DegradeDeadlineOrDefault() time.Duration {
+	if t == nil || t.DegradeDeadline <= 0 {
+		return DefaultDegradeDeadline
+	}
+	return t.DegradeDeadline
+}
+
+// Policy is a full admission policy: how requests map to tenants and each
+// tenant's rules. Construct with ParsePolicy/LoadPolicyFile or
+// DefaultPolicy; treat as immutable afterwards.
+type Policy struct {
+	// TenantHeader names the HTTP header consulted to classify requests.
+	TenantHeader string
+	// DefaultTenant names the TenantPolicy applied to requests that carry
+	// no (or an unknown) tenant.
+	DefaultTenant string
+	// Tenants holds the per-tenant rules in file order.
+	Tenants []*TenantPolicy
+}
+
+// DefaultPolicy is the permissive policy used when no policy file is
+// loaded: one default tenant with no limits, normal priority, downgrade
+// allowed — overload behavior matches the pre-policy server except that
+// the ladder (not a bare 429) handles saturation.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		TenantHeader:  DefaultTenantHeader,
+		DefaultTenant: DefaultTenantName,
+		Tenants: []*TenantPolicy{{
+			Name:     DefaultTenantName,
+			Priority: PriorityNormal,
+			Degrade:  true,
+		}},
+	}
+}
+
+// policyFile is the JSON wire form (durations as Go duration strings).
+type policyFile struct {
+	TenantHeader  string       `json:"tenantHeader"`
+	DefaultTenant string       `json:"defaultTenant"`
+	Tenants       []tenantFile `json:"tenants"`
+}
+
+type tenantFile struct {
+	Name                string   `json:"name"`
+	Priority            string   `json:"priority"`
+	RatePerSec          float64  `json:"ratePerSec"`
+	Burst               int      `json:"burst"`
+	MaxConcurrent       int      `json:"maxConcurrent"`
+	MaxDeadline         string   `json:"maxDeadline"`
+	MaxResilienceBudget int      `json:"maxResilienceBudget"`
+	Solvers             []string `json:"solvers"`
+	Degrade             *bool    `json:"degrade"`
+	DegradeSolver       string   `json:"degradeSolver"`
+	DegradeDeadline     string   `json:"degradeDeadline"`
+}
+
+func parseDuration(field, spec string) (time.Duration, error) {
+	if spec == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", field, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("%s: must not be negative, got %v", field, d)
+	}
+	return d, nil
+}
+
+// ParsePolicy decodes and validates a policy document. Unknown JSON fields
+// are rejected so a typoed knob fails loudly instead of silently not
+// applying.
+func ParsePolicy(data []byte) (*Policy, error) {
+	var pf policyFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	p := &Policy{TenantHeader: pf.TenantHeader, DefaultTenant: pf.DefaultTenant}
+	if p.TenantHeader == "" {
+		p.TenantHeader = DefaultTenantHeader
+	}
+	seen := make(map[string]bool, len(pf.Tenants))
+	for i := range pf.Tenants {
+		tf := &pf.Tenants[i]
+		if tf.Name == "" {
+			return nil, fmt.Errorf("policy: tenants[%d]: missing name", i)
+		}
+		if seen[tf.Name] {
+			return nil, fmt.Errorf("policy: duplicate tenant %q", tf.Name)
+		}
+		seen[tf.Name] = true
+		prio, err := ParsePriority(tf.Priority)
+		if err != nil {
+			return nil, fmt.Errorf("policy: tenant %q: %w", tf.Name, err)
+		}
+		if tf.RatePerSec < 0 {
+			return nil, fmt.Errorf("policy: tenant %q: ratePerSec: must not be negative", tf.Name)
+		}
+		if tf.Burst < 0 {
+			return nil, fmt.Errorf("policy: tenant %q: burst: must not be negative", tf.Name)
+		}
+		if tf.MaxConcurrent < 0 {
+			return nil, fmt.Errorf("policy: tenant %q: maxConcurrent: must not be negative", tf.Name)
+		}
+		if tf.MaxResilienceBudget < 0 {
+			return nil, fmt.Errorf("policy: tenant %q: maxResilienceBudget: must not be negative", tf.Name)
+		}
+		maxDeadline, err := parseDuration("maxDeadline", tf.MaxDeadline)
+		if err != nil {
+			return nil, fmt.Errorf("policy: tenant %q: %w", tf.Name, err)
+		}
+		degradeDeadline, err := parseDuration("degradeDeadline", tf.DegradeDeadline)
+		if err != nil {
+			return nil, fmt.Errorf("policy: tenant %q: %w", tf.Name, err)
+		}
+		burst := tf.Burst
+		if tf.RatePerSec > 0 && burst == 0 {
+			// A rate with no burst means "at most ceil(rate) outstanding":
+			// default the bucket depth to the per-second rate so a steady
+			// client is never starved by integer truncation.
+			burst = int(tf.RatePerSec)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		degrade := true
+		if tf.Degrade != nil {
+			degrade = *tf.Degrade
+		}
+		p.Tenants = append(p.Tenants, &TenantPolicy{
+			Name:                tf.Name,
+			Priority:            prio,
+			RatePerSec:          tf.RatePerSec,
+			Burst:               burst,
+			MaxConcurrent:       tf.MaxConcurrent,
+			MaxDeadline:         maxDeadline,
+			MaxResilienceBudget: tf.MaxResilienceBudget,
+			Solvers:             append([]string(nil), tf.Solvers...),
+			Degrade:             degrade,
+			DegradeSolver:       tf.DegradeSolver,
+			DegradeDeadline:     degradeDeadline,
+		})
+	}
+	if p.DefaultTenant == "" {
+		p.DefaultTenant = DefaultTenantName
+	}
+	if !seen[p.DefaultTenant] {
+		// The default tenant is the safety net for unclassified traffic;
+		// synthesize a permissive one rather than reject every request that
+		// carries no header.
+		p.Tenants = append(p.Tenants, &TenantPolicy{
+			Name:     p.DefaultTenant,
+			Priority: PriorityNormal,
+			Degrade:  true,
+		})
+	}
+	return p, nil
+}
+
+// LoadPolicyFile reads and parses a policy file.
+func LoadPolicyFile(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	p, err := ParsePolicy(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Tenant returns the named tenant's policy, or nil when absent.
+func (p *Policy) Tenant(name string) *TenantPolicy {
+	for _, t := range p.Tenants {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

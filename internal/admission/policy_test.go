@@ -1,0 +1,133 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const samplePolicy = `{
+  "tenantHeader": "X-Test-Tenant",
+  "defaultTenant": "anonymous",
+  "tenants": [
+    {"name": "gold", "priority": "high", "ratePerSec": 100, "burst": 200,
+     "maxConcurrent": 16, "maxDeadline": "1m"},
+    {"name": "bronze", "priority": "low", "ratePerSec": 2,
+     "maxConcurrent": 1, "maxDeadline": "5s", "maxResilienceBudget": 10,
+     "solvers": ["greedy", "auto"], "degrade": false,
+     "degradeSolver": "greedy", "degradeDeadline": "500ms"},
+    {"name": "anonymous", "priority": "low", "ratePerSec": 10, "burst": 20}
+  ]
+}`
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy([]byte(samplePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TenantHeader != "X-Test-Tenant" || p.DefaultTenant != "anonymous" {
+		t.Errorf("header/default = %q/%q", p.TenantHeader, p.DefaultTenant)
+	}
+	if len(p.Tenants) != 3 {
+		t.Fatalf("tenants = %d", len(p.Tenants))
+	}
+	gold := p.Tenant("gold")
+	if gold == nil || gold.Priority != PriorityHigh || gold.MaxDeadline != time.Minute {
+		t.Errorf("gold = %+v", gold)
+	}
+	if !gold.Degrade {
+		t.Error("degrade must default to true")
+	}
+	if !gold.AllowsSolver("brute-force") {
+		t.Error("empty allow-list must allow every solver")
+	}
+	bronze := p.Tenant("bronze")
+	if bronze.Degrade {
+		t.Error("bronze set degrade: false")
+	}
+	if bronze.Burst != 2 {
+		t.Errorf("burst must default to ceil(rate): got %d", bronze.Burst)
+	}
+	if !bronze.AllowsSolver("greedy") || !bronze.AllowsSolver("auto") || bronze.AllowsSolver("brute-force") {
+		t.Errorf("allow-list broken: %+v", bronze.Solvers)
+	}
+	if bronze.DegradeDeadline != 500*time.Millisecond {
+		t.Errorf("degradeDeadline = %v", bronze.DegradeDeadline)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"bad json", "{", "policy:"},
+		{"unknown field", `{"tenants":[{"name":"a","rps":5}]}`, "unknown field"},
+		{"missing name", `{"tenants":[{"priority":"low"}]}`, "missing name"},
+		{"duplicate", `{"tenants":[{"name":"a"},{"name":"a"}]}`, "duplicate tenant"},
+		{"bad priority", `{"tenants":[{"name":"a","priority":"urgent"}]}`, "priority"},
+		{"bad duration", `{"tenants":[{"name":"a","maxDeadline":"fast"}]}`, "maxDeadline"},
+		{"negative duration", `{"tenants":[{"name":"a","maxDeadline":"-1s"}]}`, "negative"},
+		{"negative rate", `{"tenants":[{"name":"a","ratePerSec":-1}]}`, "ratePerSec"},
+		{"negative concurrency", `{"tenants":[{"name":"a","maxConcurrent":-1}]}`, "maxConcurrent"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePolicy([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("accepted %q", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("err = %v, want mention of %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParsePolicySynthesizesDefaultTenant(t *testing.T) {
+	p, err := ParsePolicy([]byte(`{"defaultTenant": "anon", "tenants": [{"name": "gold"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := p.Tenant("anon")
+	if def == nil {
+		t.Fatal("default tenant not synthesized")
+	}
+	if !def.Degrade || def.Priority != PriorityNormal {
+		t.Errorf("synthesized default = %+v", def)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.TenantHeader != DefaultTenantHeader || p.DefaultTenant != DefaultTenantName {
+		t.Errorf("defaults = %+v", p)
+	}
+	def := p.Tenant(DefaultTenantName)
+	if def == nil || def.MaxConcurrent != 0 || def.RatePerSec != 0 {
+		t.Errorf("default tenant must be unlimited: %+v", def)
+	}
+	if def.DegradeSolverName() != DefaultDegradeSolver {
+		t.Errorf("degrade solver = %q", def.DegradeSolverName())
+	}
+	if def.DegradeDeadlineOrDefault() != DefaultDegradeDeadline {
+		t.Errorf("degrade deadline = %v", def.DegradeDeadlineOrDefault())
+	}
+}
+
+func TestPriorityRoundTrip(t *testing.T) {
+	for _, s := range []string{"low", "normal", "high"} {
+		p, err := ParsePriority(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if p, err := ParsePriority(""); err != nil || p != PriorityNormal {
+		t.Errorf("empty priority = %v, %v", p, err)
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Error("bad priority accepted")
+	}
+}

@@ -1,0 +1,633 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"delprop/internal/admission"
+	"delprop/internal/core"
+)
+
+// Admission suite: tenant classification, the graceful-degradation ladder
+// (queue → downgrade → computed-Retry-After 429), per-tenant quotas and
+// shaping, batch rate charging, and the per-solver circuit breakers.
+
+// holdSolver parks until released (or its context ends), signalling entry,
+// so tests control exactly how long a request occupies its slot.
+type holdSolver struct {
+	mu      sync.Mutex
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newHoldSolver() *holdSolver {
+	return &holdSolver{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (h *holdSolver) Name() string { return "test-hold" }
+
+func (h *holdSolver) Solve(ctx context.Context, p *core.Problem) (*core.Solution, error) {
+	h.mu.Lock()
+	if h.entered != nil {
+		close(h.entered)
+		h.entered = nil
+	}
+	h.mu.Unlock()
+	select {
+	case <-h.release:
+		return &core.Solution{}, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("hold: %w", ctx.Err())
+	}
+}
+
+// healableSolver panics until healed, then solves via greedy — the breaker
+// recovery scenario under test control.
+type healableSolver struct {
+	mu      sync.Mutex
+	healthy bool
+}
+
+func (h *healableSolver) Name() string { return "test-healable" }
+
+func (h *healableSolver) heal() {
+	h.mu.Lock()
+	h.healthy = true
+	h.mu.Unlock()
+}
+
+func (h *healableSolver) Solve(ctx context.Context, p *core.Problem) (*core.Solution, error) {
+	h.mu.Lock()
+	ok := h.healthy
+	h.mu.Unlock()
+	if !ok {
+		panic("injected healable panic")
+	}
+	g := &core.Greedy{}
+	return g.Solve(ctx, p)
+}
+
+// postTenant is post() plus the admission tenant header.
+func postTenant(t *testing.T, srv *httptest.Server, path, tenant string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(admission.DefaultTenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func mustPolicy(t *testing.T, doc string) *admission.Engine {
+	t.Helper()
+	p, err := admission.ParsePolicy([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return admission.NewEngine(p)
+}
+
+func decodeSolve(t *testing.T, body []byte) SolveResponse {
+	t.Helper()
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("solve body not JSON: %v: %s", err, body)
+	}
+	return out
+}
+
+// TestQoSIsolation is the acceptance scenario: with one full-fidelity slot
+// held by saturating low-priority traffic, high-priority tenant solves
+// keep completing at full fidelity through the bounded queue while
+// further low-priority requests are shed.
+func TestQoSIsolation(t *testing.T) {
+	hold := newHoldSolver()
+	entered := hold.entered
+	core.RegisterSolver("test-hold", func() core.Solver { return hold })
+	eng := mustPolicy(t, `{
+		"tenants": [
+			{"name": "gold", "priority": "high"},
+			{"name": "bronze", "priority": "low", "degrade": false}
+		]}`)
+	srv := httptest.NewServer(NewHandler(Config{
+		MaxConcurrent: 1,
+		ShedQueueWait: 5 * time.Second,
+		Admission:     eng,
+	}))
+	defer srv.Close()
+
+	// Low-priority request takes the only slot and holds it.
+	holdDone := make(chan int, 1)
+	go func() {
+		resp, _ := postTenant(t, srv, "/solve", "bronze", solveReq("5s", "test-hold"))
+		holdDone <- resp.StatusCode
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hold request never reached the solver")
+	}
+
+	// High-priority solves park in the bounded queue and complete at full
+	// fidelity once the slot frees; they must never be degraded or shed.
+	const goldSolves = 3
+	goldDone := make(chan SolveResponse, goldSolves)
+	for i := 0; i < goldSolves; i++ {
+		go func() {
+			resp, body := postTenant(t, srv, "/solve", "gold", solveReq("", ""))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("gold solve status = %d: %s", resp.StatusCode, body)
+			}
+			goldDone <- decodeSolve(t, body)
+		}()
+	}
+
+	// Saturating low-priority load on top: every extra bronze request is
+	// shed (its policy forbids downgrade) without touching the queue.
+	time.Sleep(50 * time.Millisecond) // let the gold requests enqueue first
+	for i := 0; i < 5; i++ {
+		resp, body := postTenant(t, srv, "/solve", "bronze", solveReq("", ""))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("bronze under saturation: status = %d: %s", resp.StatusCode, body)
+		}
+		e := decodeErr(t, body)
+		if e.Rule != admission.RuleOverload {
+			t.Errorf("bronze shed rule = %q, want %q", e.Rule, admission.RuleOverload)
+		}
+	}
+
+	close(hold.release)
+	for i := 0; i < goldSolves; i++ {
+		select {
+		case out := <-goldDone:
+			if out.Degraded {
+				t.Errorf("gold solve was degraded: %+v", out)
+			}
+			if out.Tenant != "gold" {
+				t.Errorf("gold solve tenant = %q", out.Tenant)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("gold solve never completed")
+		}
+	}
+	if status := <-holdDone; status != http.StatusOK {
+		t.Errorf("hold request status = %d", status)
+	}
+}
+
+// TestDegradationLadderDowngrades: a saturated server downgrades an
+// overloaded normal-priority request to the tenant's cheap solver under a
+// tightened deadline, flagging the response degraded with the rule name.
+func TestDegradationLadderDowngrades(t *testing.T) {
+	hold := newHoldSolver()
+	entered := hold.entered
+	core.RegisterSolver("test-hold", func() core.Solver { return hold })
+	srv := httptest.NewServer(NewHandler(Config{MaxConcurrent: 1}))
+	defer srv.Close()
+
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		post(t, srv, "/solve", solveReq("5s", "test-hold"))
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hold request never reached the solver")
+	}
+
+	// This request asked for an expensive exact solver; the ladder forces
+	// the default tenant's degrade solver (greedy) instead.
+	resp, body := post(t, srv, "/solve", solveReq("", "brute-force"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	out := decodeSolve(t, body)
+	if !out.Degraded {
+		t.Fatalf("overloaded solve not degraded: %+v", out)
+	}
+	if out.DegradedRule != admission.RuleOverloadDegrade {
+		t.Errorf("degraded rule = %q, want %q", out.DegradedRule, admission.RuleOverloadDegrade)
+	}
+	if out.Solver != "greedy" {
+		t.Errorf("degraded solver = %q, want greedy", out.Solver)
+	}
+
+	// The decision is visible on /metrics.
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(mr.Body)
+	mr.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`delprop_admission_decisions_total{decision="degraded",tenant="default"}`,
+		`delprop_admission_degraded_solves_total{rule="overload-degrade",tenant="default"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	close(hold.release)
+	<-holdDone
+}
+
+// TestTenantRateLimit: a tenant over its token bucket is shed with 429,
+// the rate-limit rule, and a Retry-After hint.
+func TestTenantRateLimit(t *testing.T) {
+	eng := mustPolicy(t, `{"tenants":[{"name":"rl","ratePerSec":0.1,"burst":1}]}`)
+	srv := httptest.NewServer(NewHandler(Config{Admission: eng}))
+	defer srv.Close()
+
+	resp, body := postTenant(t, srv, "/solve", "rl", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postTenant(t, srv, "/solve", "rl", solveReq("", ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate status = %d: %s", resp.StatusCode, body)
+	}
+	e := decodeErr(t, body)
+	if e.Code != codeOverloaded || e.Rule != admission.RuleRateLimit {
+		t.Errorf("code/rule = %q/%q", e.Code, e.Rule)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	// Other tenants are unaffected.
+	resp, body = post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default tenant caught rl's limit: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestTenantConcurrencyQuota: a tenant at its concurrency quota is shed
+// even while the server itself has capacity to spare.
+func TestTenantConcurrencyQuota(t *testing.T) {
+	hold := newHoldSolver()
+	entered := hold.entered
+	core.RegisterSolver("test-hold", func() core.Solver { return hold })
+	eng := mustPolicy(t, `{"tenants":[{"name":"q","maxConcurrent":1}]}`)
+	srv := httptest.NewServer(NewHandler(Config{Admission: eng}))
+	defer srv.Close()
+
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		postTenant(t, srv, "/solve", "q", solveReq("5s", "test-hold"))
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hold request never reached the solver")
+	}
+	resp, body := postTenant(t, srv, "/solve", "q", solveReq("", ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Rule != admission.RuleTenantConcurrency {
+		t.Errorf("rule = %q, want %q", e.Rule, admission.RuleTenantConcurrency)
+	}
+	// The server-wide pool is untouched: another tenant solves fine.
+	resp, body = post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default tenant blocked by q's quota: %d: %s", resp.StatusCode, body)
+	}
+	close(hold.release)
+	<-holdDone
+}
+
+// TestSolverAllowList: a tenant restricted to named solvers gets 403
+// solver_denied for anything else — whether the tenant came from the
+// header or the request body's tenant field.
+func TestSolverAllowList(t *testing.T) {
+	eng := mustPolicy(t, `{"tenants":[{"name":"locked","solvers":["greedy","auto"]}]}`)
+	srv := httptest.NewServer(NewHandler(Config{Admission: eng}))
+	defer srv.Close()
+
+	resp, body := postTenant(t, srv, "/solve", "locked", solveReq("", "brute-force"))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != codeSolverDenied {
+		t.Errorf("code = %q, want %q", e.Code, codeSolverDenied)
+	}
+	resp, body = postTenant(t, srv, "/solve", "locked", solveReq("", "greedy"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("allowed solver status = %d: %s", resp.StatusCode, body)
+	}
+
+	// No header, but the body names the tenant: shaping still applies.
+	req := solveReq("", "brute-force")
+	req.Tenant = "locked"
+	resp, body = post(t, srv, "/solve", req)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("body-tenant status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestTenantDeadlineCap: the tenant's maxDeadline clamps the request's
+// timeout field, so a blocking solve returns within the cap.
+func TestTenantDeadlineCap(t *testing.T) {
+	registerFaultSolvers()
+	eng := mustPolicy(t, `{"tenants":[{"name":"capped","maxDeadline":"100ms"}]}`)
+	srv := httptest.NewServer(NewHandler(Config{Admission: eng}))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, body := postTenant(t, srv, "/solve", "capped", solveReq("30s", "test-faulty-block"))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("capped solve took %v; the 100ms tenant cap did not apply", elapsed)
+	}
+}
+
+// TestBatchItemsChargeTenantBudget: every batch item costs one rate token,
+// so a batch cannot tunnel past the tenant's budget; items beyond it fail
+// with the overloaded code while covered items still complete.
+func TestBatchItemsChargeTenantBudget(t *testing.T) {
+	// Burst 4 = 1 token for the batch envelope + 3 for items.
+	eng := mustPolicy(t, `{"tenants":[{"name":"b","ratePerSec":0.01,"burst":4}]}`)
+	srv := httptest.NewServer(NewHandler(Config{Admission: eng}))
+	defer srv.Close()
+
+	var batch BatchRequest
+	for i := 0; i < 6; i++ {
+		batch.Items = append(batch.Items, solveReq("", ""))
+	}
+	resp, body := postTenant(t, srv, "/solve/batch", "b", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 3 || out.Failed != 3 {
+		t.Fatalf("completed/failed = %d/%d, want 3/3: %s", out.Completed, out.Failed, body)
+	}
+	for _, item := range out.Items {
+		if item.Error != nil && item.Error.Code != codeOverloaded {
+			t.Errorf("item %d error code = %q, want %q", item.Index, item.Error.Code, codeOverloaded)
+		}
+		if item.Skipped {
+			t.Errorf("item %d skipped; budget exhaustion must fail, not skip", item.Index)
+		}
+	}
+}
+
+// TestBreakerTripsRoutesAndRecovers: consecutive panics trip the solver's
+// breaker, tripped traffic reroutes to the fallback solver, and a
+// half-open probe after the cooldown closes the breaker once the solver
+// heals.
+func TestBreakerTripsRoutesAndRecovers(t *testing.T) {
+	heal := &healableSolver{}
+	core.RegisterSolver("test-healable", func() core.Solver { return heal })
+	srv := httptest.NewServer(NewHandler(Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+	}))
+	defer srv.Close()
+
+	// Two consecutive panics: 500s, and the breaker trips.
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, srv, "/solve", solveReq("", "test-healable"))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic %d status = %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Open breaker: requests for the broken solver reroute to the fallback.
+	resp, body := post(t, srv, "/solve", solveReq("", "test-healable"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rerouted status = %d: %s", resp.StatusCode, body)
+	}
+	if out := decodeSolve(t, body); out.Solver != "greedy" {
+		t.Errorf("rerouted solver = %q, want greedy", out.Solver)
+	}
+
+	// Breaker state is exported.
+	br, err := http.Get(srv.URL + "/debug/breakers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(br.Body)
+	br.Body.Close()
+	var breakers BreakersResponse
+	if err := json.Unmarshal(buf.Bytes(), &breakers); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range breakers.Breakers {
+		if b.Solver == "test-healable" {
+			found = true
+			if b.State != "open" {
+				t.Errorf("breaker state = %q, want open", b.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("test-healable missing from /debug/breakers: %s", buf.String())
+	}
+
+	// Heal, wait out the cooldown, and let the half-open probe recover.
+	heal.heal()
+	time.Sleep(250 * time.Millisecond)
+	resp, body = post(t, srv, "/solve", solveReq("", "test-healable"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe status = %d: %s", resp.StatusCode, body)
+	}
+	if out := decodeSolve(t, body); out.Solver != "test-healable" {
+		t.Errorf("probe solver = %q, want test-healable", out.Solver)
+	}
+	// The probe success closed the breaker: the next request runs the
+	// solver directly again.
+	resp, body = post(t, srv, "/solve", solveReq("", "test-healable"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery status = %d: %s", resp.StatusCode, body)
+	}
+	if out := decodeSolve(t, body); out.Solver != "test-healable" {
+		t.Errorf("post-recovery solver = %q, want test-healable", out.Solver)
+	}
+
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	_, _ = buf.ReadFrom(mr.Body)
+	mr.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`delprop_breaker_state{solver="test-healable"} 0`,
+		`delprop_breaker_transitions_total{solver="test-healable",to="open"} 1`,
+		`delprop_breaker_rerouted_total{from="test-healable",to="greedy"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// TestRetryAfterComputedFromLatency: shed responses derive Retry-After
+// from the live p90 solve latency instead of a hardcoded constant.
+func TestRetryAfterComputedFromLatency(t *testing.T) {
+	hold := newHoldSolver()
+	entered := hold.entered
+	core.RegisterSolver("test-hold", func() core.Solver { return hold })
+	eng := mustPolicy(t, `{"tenants":[{"name":"default","degrade":false}]}`)
+	s := NewHandler(Config{MaxConcurrent: 1, Admission: eng})
+	// Prime the aggregate latency histogram: ten 2.5s solves put p90 in
+	// the (1, 2.5] bucket, interpolating to 2.35s → ceil 3.
+	for i := 0; i < 10; i++ {
+		s.api.latencyAll.Observe(2.5)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		post(t, srv, "/solve", solveReq("5s", "test-hold"))
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hold request never reached the solver")
+	}
+	resp, body := post(t, srv, "/solve", solveReq("", ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want 3 (ceil of interpolated p90)", got)
+	}
+	close(hold.release)
+	<-holdDone
+}
+
+// TestShedDrainInteraction hammers a small server with concurrent solves
+// across tenants while the drain flag toggles, asserting that every
+// single request gets a well-formed JSON answer — nothing is silently
+// dropped at any rung of the ladder. Run with -race, this also exercises
+// the queue/semaphore/drain interleavings.
+func TestShedDrainInteraction(t *testing.T) {
+	eng := mustPolicy(t, `{
+		"tenants": [
+			{"name": "gold", "priority": "high"},
+			{"name": "bronze", "priority": "low", "degrade": false}
+		]}`)
+	s := NewHandler(Config{
+		MaxConcurrent: 2,
+		DegradedLanes: 1,
+		ShedQueueWait: 50 * time.Millisecond,
+		Admission:     eng,
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	stopFlip := make(chan struct{})
+	var flip sync.WaitGroup
+	flip.Add(1)
+	go func() {
+		defer flip.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopFlip:
+				s.SetDraining(false)
+				return
+			case <-time.After(5 * time.Millisecond):
+				s.SetDraining(i%2 == 0)
+			}
+		}
+	}()
+
+	tenants := []string{"", "gold", "bronze", "unknown-tenant"}
+	const requests = 40
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postTenant(t, srv, "/solve", tenants[i%len(tenants)], solveReq("2s", ""))
+			if len(bytes.TrimSpace(body)) == 0 {
+				t.Errorf("request %d: empty body with status %d", i, resp.StatusCode)
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				decodeSolve(t, body)
+			case http.StatusTooManyRequests:
+				if e := decodeErr(t, body); e.Code != codeOverloaded {
+					t.Errorf("request %d: 429 code = %q", i, e.Code)
+				}
+			default:
+				if e := decodeErr(t, body); e.Code == "" {
+					t.Errorf("request %d: status %d without a code: %s", i, resp.StatusCode, body)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopFlip)
+	flip.Wait()
+}
+
+// TestUnknownTenantBoundedCardinality: arbitrary header values collapse to
+// the default tenant in metrics, so clients cannot explode label
+// cardinality.
+func TestUnknownTenantBoundedCardinality(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, body := postTenant(t, srv, "/solve", fmt.Sprintf("attacker-%d", i), solveReq("", ""))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, body)
+		}
+		if out := decodeSolve(t, body); out.Tenant != admission.DefaultTenantName {
+			t.Errorf("tenant = %q, want %q", out.Tenant, admission.DefaultTenantName)
+		}
+	}
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(mr.Body)
+	mr.Body.Close()
+	if strings.Contains(buf.String(), "attacker-") {
+		t.Error("attacker-chosen tenant names leaked into metric labels")
+	}
+}

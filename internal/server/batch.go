@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"delprop/internal/admission"
 )
 
 // POST /solve/batch: solve many instances in one request through a
@@ -13,11 +15,16 @@ import (
 // same engine as POST /solve (per-item deadline, supervised goroutine,
 // trace, metrics, incumbent degradation), so a batch of n items behaves
 // exactly like n sequential solves — just faster. The batch occupies one
-// load-shedder slot; BatchWorkers bounds how many items run at once
-// inside it. When the batch deadline fires or the client disconnects,
-// in-flight items are cancelled (degrading to incumbents where solvers
-// carry them) and not-yet-started items are reported skipped, so the
-// caller always gets the partial results that were paid for.
+// admission slot, but every item is charged against the requesting
+// tenant's rate budget, so a 64-item batch costs 64 tokens rather than
+// the one its envelope used to; items beyond the budget fail with the
+// overloaded code while the rest still run (partial-result semantics).
+// BatchWorkers bounds how many items run at once inside the batch, and
+// the tenant's MaxConcurrent clamps it further. When the batch deadline
+// fires or the client disconnects, in-flight items are cancelled
+// (degrading to incumbents where solvers carry them) and not-yet-started
+// items are reported skipped, so the caller always gets the partial
+// results that were paid for.
 
 // BatchRequest is the POST /solve/batch payload.
 type BatchRequest struct {
@@ -120,7 +127,40 @@ func (a *api) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Tenant accounting: the envelope was admitted by the middleware, but
+	// each item charges one rate token so batches cannot tunnel past the
+	// tenant's budget. Items the bucket cannot cover fail (not skip) with
+	// the overloaded code; the covered items still run.
+	info := admission.InfoFromContext(ctx)
+	tenant := ""
+	var pol *admission.TenantPolicy
+	if info != nil {
+		tenant = info.Tenant
+		_, pol, _ = a.cfg.Admission.Resolve(tenant)
+	}
+	charged := make([]bool, len(req.Items))
+	var chargeErr []time.Duration
+	if info != nil {
+		chargeErr = make([]time.Duration, len(req.Items))
+		for i := range req.Items {
+			ok, retry := a.cfg.Admission.Charge(tenant)
+			charged[i], chargeErr[i] = ok, retry
+			if !ok {
+				a.observeAdmission(tenant, "shed-"+admission.RuleRateLimit)
+			}
+		}
+	} else {
+		for i := range charged {
+			charged[i] = true
+		}
+	}
+
 	workers := a.batchWorkers(req.Workers, len(req.Items))
+	if pol != nil && pol.MaxConcurrent > 0 && workers > pol.MaxConcurrent {
+		// A tenant capped at k concurrent requests must not fan a single
+		// batch out wider than k workers.
+		workers = pol.MaxConcurrent
+	}
 	results := make([]BatchItemResult, len(req.Items))
 	jobs := make(chan int, len(req.Items))
 	for i := range req.Items {
@@ -144,6 +184,13 @@ func (a *api) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 				// the response must still account for every item.
 				if ctx.Err() != nil {
 					results[idx] = BatchItemResult{Index: idx, Skipped: true}
+					continue
+				}
+				if !charged[idx] {
+					results[idx] = BatchItemResult{Index: idx, Error: &BatchItemError{
+						Error: fmt.Sprintf("tenant %q rate budget exhausted (retry in %v)",
+							tenant, chargeErr[idx].Round(time.Millisecond)),
+						Code: codeOverloaded}}
 					continue
 				}
 				busy.Add(1)

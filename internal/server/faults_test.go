@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"delprop/internal/admission"
 	"delprop/internal/core"
 )
 
@@ -260,14 +261,21 @@ func TestPerSolverTimeout(t *testing.T) {
 	}
 }
 
-// TestLoadShedding: with MaxConcurrent=1, a second concurrent compute
-// request is shed with 429 + Retry-After while the first still completes,
-// and /healthz stays reachable throughout.
+// TestLoadShedding: with MaxConcurrent=1 and a policy that forbids
+// downgrade, a second concurrent compute request walks the ladder to its
+// last rung and is shed with 429 + Retry-After while the first still
+// completes, and /healthz stays reachable throughout. (With downgrade
+// permitted the ladder would answer 200 degraded instead — that path is
+// covered in admission_test.go.)
 func TestLoadShedding(t *testing.T) {
 	gate := &gateSolver{entered: make(chan struct{})}
 	entered := gate.entered
 	core.RegisterSolver("test-gate", func() core.Solver { return gate })
-	srv := httptest.NewServer(NewHandler(Config{MaxConcurrent: 1}))
+	pol, err := admission.ParsePolicy([]byte(`{"tenants":[{"name":"default","degrade":false}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(Config{MaxConcurrent: 1, Admission: admission.NewEngine(pol)}))
 	defer srv.Close()
 
 	firstDone := make(chan int, 1)
@@ -382,12 +390,20 @@ func TestClientDisconnectCancelsSolve(t *testing.T) {
 	}
 
 	// The semaphore slot must be released promptly (MaxConcurrent=1, so a
-	// leak would turn this into a 429 or a hang).
+	// leak would park every later request on the degradation ladder). A
+	// degraded 200 does not count: only a full-fidelity solve proves the
+	// slot came back.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		resp, body := post(t, srv, "/solve", solveReq("", ""))
 		if resp.StatusCode == http.StatusOK {
-			break
+			var out SolveResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !out.Degraded {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("slot never released: status = %d: %s", resp.StatusCode, body)

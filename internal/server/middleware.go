@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"delprop/internal/admission"
 	"delprop/internal/telemetry"
 )
 
@@ -24,8 +25,9 @@ type Config struct {
 	MaxSolveTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (http.MaxBytesReader).
 	MaxBodyBytes int64
-	// MaxConcurrent bounds simultaneously-running compute requests; the
-	// rest are shed with 429 + Retry-After.
+	// MaxConcurrent bounds simultaneously-running compute requests; excess
+	// requests enter the graceful-degradation ladder (bounded queue for
+	// high-priority tenants, downgrade to the cheap solver, then 429).
 	MaxConcurrent int
 	// MaxResilienceBudget caps the per-request resilience candidate
 	// budget (the exact hitting-set search is exponential in it).
@@ -36,6 +38,27 @@ type Config struct {
 	// MaxBatchWorkers caps a batch's concurrent item solves (and is the
 	// default when the request names no worker count).
 	MaxBatchWorkers int
+	// Admission enforces the tenant policy (rates, quotas, deadline caps,
+	// solver allow-lists, priorities); nil installs the permissive
+	// DefaultPolicy so the server runs unchanged without a policy file.
+	Admission *admission.Engine
+	// ShedQueueDepth bounds how many high-priority requests may wait for a
+	// slot when the server is saturated (ladder rung 1).
+	ShedQueueDepth int
+	// ShedQueueWait bounds how long a queued high-priority request waits
+	// before falling through to the next ladder rung.
+	ShedQueueWait time.Duration
+	// DegradedLanes bounds concurrently-running downgraded solves (ladder
+	// rung 2); they run outside the MaxConcurrent semaphore because the
+	// cheap solver under a tight deadline costs little.
+	DegradedLanes int
+	// BreakerThreshold is how many consecutive hard solver failures
+	// (panic, timeout, unstoppable) trip that solver's circuit breaker;
+	// negative disables breakers entirely, 0 means the default.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// half-open probes test recovery.
+	BreakerCooldown time.Duration
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 	// Metrics receives the server's counters, gauges and histograms; nil
@@ -56,6 +79,9 @@ const (
 	DefaultMaxResilienceLimit = 28
 	DefaultMaxBatchItems      = 64
 	DefaultMaxBatchWorkers    = 4
+	DefaultShedQueueDepth     = 16
+	DefaultShedQueueWait      = 500 * time.Millisecond
+	DefaultDegradedLanes      = 4
 )
 
 // DefaultConfig returns the production defaults documented in
@@ -87,6 +113,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchWorkers <= 0 {
 		c.MaxBatchWorkers = DefaultMaxBatchWorkers
 	}
+	if c.Admission == nil {
+		c.Admission = admission.NewEngine(nil)
+	}
+	if c.ShedQueueDepth <= 0 {
+		c.ShedQueueDepth = DefaultShedQueueDepth
+	}
+	if c.ShedQueueWait <= 0 {
+		c.ShedQueueWait = DefaultShedQueueWait
+	}
+	if c.DegradedLanes <= 0 {
+		c.DegradedLanes = DefaultDegradedLanes
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = admission.DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = admission.DefaultBreakerCooldown
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -100,12 +144,19 @@ func (c Config) withDefaults() Config {
 }
 
 // api holds the mounted configuration and the shared concurrency
-// semaphore.
+// semaphores: sem bounds full-fidelity compute requests, queueSlots bounds
+// high-priority waiters, and degradedSem bounds downgraded solves.
 type api struct {
-	cfg      Config
-	sem      chan struct{}
-	nextID   atomic.Uint64
-	draining atomic.Bool
+	cfg         Config
+	sem         chan struct{}
+	queueSlots  chan struct{}
+	degradedSem chan struct{}
+	breakers    *admission.BreakerSet
+	// latencyAll aggregates solve latency across solvers; Retry-After
+	// hints are derived from its p90 (see retryAfterSeconds).
+	latencyAll *telemetry.Histogram
+	nextID     atomic.Uint64
+	draining   atomic.Bool
 	// start anchors the delprop_process_uptime_seconds gauge.
 	start time.Time
 }
@@ -179,26 +230,132 @@ func (a *api) limitBody(next http.Handler) http.Handler {
 	})
 }
 
-// shed is the load shedder: a semaphore bounds concurrently-running
-// compute requests, and requests that find it full are rejected
-// immediately with 429 + Retry-After rather than queued (queueing would
-// just convert overload into latency and memory growth).
-func (a *api) shed(next http.Handler) http.Handler {
+// shedResponse writes one 429 with the rule that fired and a Retry-After
+// in whole seconds.
+func (a *api) shedResponse(w http.ResponseWriter, r *http.Request, rule string, retryAfter int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error: err.Error(), Code: codeOverloaded, Rule: rule, RequestID: requestID(r)})
+}
+
+// admit replaces the old binary load shedder with tenant-aware admission
+// plus a graceful-degradation ladder. Per request:
+//
+//  1. Classify the tenant from the policy header (unknown values collapse
+//     to the default tenant) and run its token-bucket rate limit and
+//     concurrency quota — violations are shed immediately with 429 and a
+//     rule name.
+//  2. Try the full-fidelity semaphore; on success the request runs
+//     normally.
+//  3. Saturated: high-priority tenants may wait in a bounded queue for a
+//     slot (rung 1). If no slot frees within ShedQueueWait, fall through.
+//  4. Degradable endpoints (solve, batch) with downgrade-permitted tenants
+//     run in a bounded degraded lane: the solve path swaps in the cheap
+//     solver under a tightened deadline and flags the response
+//     degraded=true with the rule name (rung 2).
+//  5. Otherwise 429, code overloaded, with Retry-After computed from the
+//     live solve-latency histogram instead of a hardcoded constant
+//     (rung 3).
+func (a *api) admit(next http.Handler, degradable bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		eng := a.cfg.Admission
+		claimed := r.Header.Get(eng.TenantHeader())
+		tenant, pol, explicit := eng.Resolve(claimed)
+		dec := eng.Admit(tenant)
+		if !dec.OK {
+			a.observeAdmission(dec.Tenant, "shed-"+dec.Rule)
+			retry := int(dec.RetryAfter / time.Second)
+			if retry < 1 {
+				retry = a.retryAfterSeconds()
+			}
+			a.shedResponse(w, r, dec.Rule, retry,
+				fmt.Errorf("tenant %q rejected by %s", dec.Tenant, dec.Rule))
+			return
+		}
+		defer dec.Release()
+		inflight := a.cfg.Metrics.Gauge(metricAdmissionInflight,
+			"Compute requests currently admitted, by tenant.",
+			telemetry.Labels{"tenant": dec.Tenant})
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		info := &admission.RequestInfo{Tenant: dec.Tenant, Priority: pol.Priority, Explicit: explicit}
+		r = r.WithContext(admission.WithRequestInfo(r.Context(), info))
+
+		// Full-fidelity fast path.
 		select {
 		case a.sem <- struct{}{}:
+			a.observeAdmission(dec.Tenant, "admitted")
 			defer func() { <-a.sem }()
 			next.ServeHTTP(w, r)
+			return
 		default:
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, codeOverloaded,
-				fmt.Errorf("server at capacity (%d concurrent requests)", a.cfg.MaxConcurrent),
-				requestID(r))
 		}
+
+		// Rung 1: bounded short queue for high-priority tenants.
+		if pol.Priority == admission.PriorityHigh {
+			if done := a.queueForSlot(w, r, dec.Tenant, next); done {
+				return
+			}
+		}
+
+		// Rung 2: downgrade to the cheap solver in a bounded lane.
+		if degradable && pol.Degrade {
+			select {
+			case a.degradedSem <- struct{}{}:
+				info.Degraded = true
+				info.Rule = admission.RuleOverloadDegrade
+				a.observeAdmission(dec.Tenant, "degraded")
+				defer func() { <-a.degradedSem }()
+				next.ServeHTTP(w, r)
+				return
+			default:
+			}
+		}
+
+		// Rung 3: shed, with a live Retry-After estimate.
+		a.observeAdmission(dec.Tenant, "shed-"+admission.RuleOverload)
+		a.shedResponse(w, r, admission.RuleOverload, a.retryAfterSeconds(),
+			fmt.Errorf("server at capacity (%d concurrent requests)", a.cfg.MaxConcurrent))
 	})
 }
 
+// queueForSlot parks a high-priority request in the bounded queue until a
+// full-fidelity slot frees, the wait budget expires, or the client goes
+// away. It reports whether the request was fully handled here.
+func (a *api) queueForSlot(w http.ResponseWriter, r *http.Request, tenant string, next http.Handler) bool {
+	select {
+	case a.queueSlots <- struct{}{}:
+	default:
+		return false // queue full: fall through the ladder
+	}
+	start := time.Now()
+	timer := time.NewTimer(a.cfg.ShedQueueWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		<-a.queueSlots
+		a.cfg.Metrics.Histogram(metricAdmissionQueueWait,
+			"Seconds high-priority requests waited in the bounded overload queue before getting a slot.",
+			nil, nil).Observe(time.Since(start).Seconds())
+		a.observeAdmission(tenant, "queued")
+		defer func() { <-a.sem }()
+		next.ServeHTTP(w, r)
+		return true
+	case <-timer.C:
+		<-a.queueSlots
+		return false // wait budget spent: fall through the ladder
+	case <-r.Context().Done():
+		<-a.queueSlots
+		// The client is gone; nothing to write, but the request is done.
+		return true
+	}
+}
+
 // compute wires the middleware that applies to CPU-bound POST endpoints.
-func (a *api) compute(h http.HandlerFunc) http.Handler {
-	return a.shed(a.limitBody(h))
+// degradable marks endpoints the overload ladder may downgrade to the
+// cheap solver instead of shedding (solve and batch; classify, lineage and
+// resilience have no solver to swap).
+func (a *api) compute(h http.HandlerFunc, degradable bool) http.Handler {
+	return a.admit(a.limitBody(h), degradable)
 }

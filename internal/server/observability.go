@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"delprop/internal/admission"
 	"delprop/internal/core"
 	"delprop/internal/telemetry"
 )
@@ -41,6 +43,18 @@ const (
 	metricBatchWorkerMs     = "delprop_parallel_batch_worker_ms_total"
 	metricBatchItems        = "delprop_parallel_batch_items_total"
 	metricBatchRequests     = "delprop_parallel_batch_requests_total"
+
+	// Tenant admission control + degradation ladder.
+	metricAdmissionDecisions = "delprop_admission_decisions_total"
+	metricAdmissionInflight  = "delprop_admission_inflight_requests"
+	metricAdmissionQueueWait = "delprop_admission_queue_wait_seconds"
+	metricAdmissionLatency   = "delprop_admission_solve_latency_seconds"
+	metricDegradedSolves     = "delprop_admission_degraded_solves_total"
+
+	// Per-solver circuit breakers.
+	metricBreakerState       = "delprop_breaker_state"
+	metricBreakerTransitions = "delprop_breaker_transitions_total"
+	metricBreakerRerouted    = "delprop_breaker_rerouted_total"
 )
 
 // qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
@@ -99,6 +113,69 @@ func (a *api) observeSolve(solver, outcome string, dur time.Duration, snap core.
 			"Observed approximation ratio (achieved objective / proven lower bound) per solve, by solver. Ratio 1 is a certified-optimal solve.",
 			qualityRatioBuckets, lb).Observe(*snap.QualityRatio)
 	}
+	// The unlabeled aggregate feeds Retry-After hints (retryAfterSeconds);
+	// per-solver histograms cannot be merged quantile-correctly at read time.
+	a.latencyAll.Observe(dur.Seconds())
+}
+
+// observeAdmission counts one admission-ladder decision for a tenant.
+// decision is one of admitted, queued, degraded, or shed-<rule>.
+func (a *api) observeAdmission(tenant, decision string) {
+	a.cfg.Metrics.Counter(metricAdmissionDecisions,
+		"Admission-ladder decisions, by tenant and decision (admitted, queued, degraded, shed-<rule>).",
+		telemetry.Labels{"tenant": tenant, "decision": decision}).Inc()
+}
+
+// observeDegraded counts one solve that ran downgraded, by tenant and the
+// policy rule that forced the downgrade.
+func (a *api) observeDegraded(tenant, rule string) {
+	a.cfg.Metrics.Counter(metricDegradedSolves,
+		"Solves forced onto the degrade solver, by tenant and the rule that fired.",
+		telemetry.Labels{"tenant": tenant, "rule": rule}).Inc()
+}
+
+// retryAfterSeconds derives the Retry-After hint for shed responses from
+// the live aggregate solve-latency histogram: the p90 solve time is how
+// long a running request plausibly keeps its slot, so retrying sooner
+// mostly burns the client's rate budget. Clamped to [1, 60] whole seconds
+// (empty histogram → 1, matching the old hardcoded hint).
+func (a *api) retryAfterSeconds() int {
+	p90 := a.latencyAll.Quantile(0.9)
+	secs := int(math.Ceil(p90))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// registerBreakerMetrics wires the breaker set's transition hook to the
+// per-solver state gauge (0 closed, 1 half-open, 2 open) and transition
+// counter. Called once at mount time; the hook runs with the breaker lock
+// held, so it must stay allocation-light and never call back into the set.
+func (a *api) registerBreakerMetrics() {
+	if a.breakers == nil {
+		return
+	}
+	reg := a.cfg.Metrics
+	a.breakers.SetTransitionHook(func(solver string, to admission.BreakerState) {
+		reg.Gauge(metricBreakerState,
+			"Circuit breaker state per solver: 0 closed, 1 half-open, 2 open.",
+			telemetry.Labels{"solver": solver}).Set(float64(to))
+		reg.Counter(metricBreakerTransitions,
+			"Circuit breaker state transitions, by solver and destination state.",
+			telemetry.Labels{"solver": solver, "to": to.String()}).Inc()
+	})
+}
+
+// observeBreakerReroute counts one request routed to the fallback solver
+// because the requested solver's breaker was open.
+func (a *api) observeBreakerReroute(from, to string) {
+	a.cfg.Metrics.Counter(metricBreakerRerouted,
+		"Requests rerouted to a fallback solver because the requested solver's breaker was open, by solver pair.",
+		telemetry.Labels{"from": from, "to": to}).Inc()
 }
 
 // observeRace records one finished portfolio race: who won (and whether
@@ -238,6 +315,22 @@ func writeTracesText(w http.ResponseWriter, traces []telemetry.TraceJSON) {
 	}
 }
 
+// BreakersResponse is the /debug/breakers payload: every solver that has
+// ever recorded a failure, sorted by name.
+type BreakersResponse struct {
+	Breakers []admission.BreakerStatus `json:"breakers"`
+}
+
+// handleBreakers reports the live circuit-breaker states for operators
+// debugging a tripped solver.
+func (a *api) handleBreakers(w http.ResponseWriter, r *http.Request) {
+	snap := a.breakers.Snapshot()
+	if snap == nil {
+		snap = []admission.BreakerStatus{}
+	}
+	writeJSON(w, http.StatusOK, BreakersResponse{Breakers: snap})
+}
+
 // handleHealthz answers liveness probes; once draining it flips to 503 so
 // load balancers stop routing before the shutdown grace period expires.
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -259,6 +352,7 @@ func (s *Server) OpsHandler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

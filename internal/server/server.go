@@ -6,11 +6,16 @@
 //
 // The handler chain is hardened for untrusted traffic: every compute
 // request runs under a deadline (default + per-request "timeout" field,
-// capped server-side), bodies are size-limited, concurrency is bounded
-// with 429 load shedding, panics become 500 JSON responses carrying a
-// request id, and solves interrupted by their deadline degrade to the
-// solver's incumbent solution when one exists. See docs/OPERATIONS.md for
-// the operational contract.
+// capped server-side), bodies are size-limited, panics become 500 JSON
+// responses carrying a request id, and solves interrupted by their
+// deadline degrade to the solver's incumbent solution when one exists.
+// Admission is tenant-aware (internal/admission): a policy file attaches
+// rate limits, quotas, deadline caps, solver allow-lists and priorities
+// per tenant, and saturation walks a graceful-degradation ladder (bounded
+// queue, forced cheap-solver downgrade, computed-Retry-After 429) instead
+// of shedding outright. Per-solver circuit breakers isolate solvers that
+// keep panicking or timing out. See docs/OPERATIONS.md for the
+// operational contract.
 package server
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"delprop/internal/admission"
 	"delprop/internal/classify"
 	"delprop/internal/core"
 	"delprop/internal/cq"
@@ -49,18 +55,36 @@ func New() *Server { return NewHandler(Config{}) }
 func NewHandler(cfg Config) *Server {
 	a := &api{cfg: cfg.withDefaults(), start: time.Now()}
 	a.sem = make(chan struct{}, a.cfg.MaxConcurrent)
+	a.queueSlots = make(chan struct{}, a.cfg.ShedQueueDepth)
+	a.degradedSem = make(chan struct{}, a.cfg.DegradedLanes)
+	if a.cfg.BreakerThreshold > 0 {
+		// Negative thresholds disable breakers: a nil BreakerSet allows
+		// everything and records nothing.
+		a.breakers = admission.NewBreakerSet(admission.BreakerConfig{
+			Threshold: a.cfg.BreakerThreshold,
+			Cooldown:  a.cfg.BreakerCooldown,
+		})
+	}
+	a.latencyAll = a.cfg.Metrics.Histogram(metricAdmissionLatency,
+		"Solve latency in seconds aggregated across solvers; shed responses derive Retry-After from its p90.",
+		nil, nil)
+	a.registerBreakerMetrics()
 	a.registerBuildInfo()
 	mux := http.NewServeMux()
-	mux.Handle("POST /solve", a.compute(a.handleSolve))
-	mux.Handle("POST /solve/batch", a.compute(a.handleSolveBatch))
-	mux.Handle("POST /classify", a.compute(a.handleClassify))
-	mux.Handle("POST /lineage", a.compute(a.handleLineage))
-	mux.Handle("POST /resilience", a.compute(a.handleResilience))
+	// solve and batch are degradable: the overload ladder may downgrade
+	// them to the tenant's cheap solver instead of shedding. The other
+	// compute endpoints have no solver to swap, so they queue or shed.
+	mux.Handle("POST /solve", a.compute(a.handleSolve, true))
+	mux.Handle("POST /solve/batch", a.compute(a.handleSolveBatch, true))
+	mux.Handle("POST /classify", a.compute(a.handleClassify, false))
+	mux.Handle("POST /lineage", a.compute(a.handleLineage, false))
+	mux.Handle("POST /resilience", a.compute(a.handleResilience, false))
 	// Liveness and the observability reads stay outside the shedder: a
 	// saturated server must still answer probes and scrapes.
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
 	return &Server{api: a, handler: a.instrument(mux)}
 }
 
@@ -95,6 +119,14 @@ func (s *Server) Metrics() *telemetry.Registry { return s.api.cfg.Metrics }
 // snapshots).
 func (s *Server) Tracer() *telemetry.Tracer { return s.api.cfg.Tracer }
 
+// Admission returns the server's admission engine — delpropd holds it to
+// hot-reload the policy on SIGHUP.
+func (s *Server) Admission() *admission.Engine { return s.api.cfg.Admission }
+
+// Breakers returns the per-solver circuit breaker set (nil when breakers
+// are disabled via a negative BreakerThreshold).
+func (s *Server) Breakers() *admission.BreakerSet { return s.api.breakers }
+
 // InstanceRequest is the common instance payload: textio database, datalog
 // queries, and (for solve) a textio deletion request.
 type InstanceRequest struct {
@@ -112,6 +144,12 @@ type InstanceRequest struct {
 	// ResilienceBudget bounds the exact hitting-set search of /resilience
 	// (capped server-side; 0 means the default).
 	ResilienceBudget int `json:"resilienceBudget,omitempty"`
+	// Tenant optionally names the tenant for clients that cannot set the
+	// admission header. The header wins when it matches a configured
+	// tenant; this field only refines request shaping (solver allow-list,
+	// deadline and budget caps) — rate and quota admission already ran in
+	// the middleware, before the body was decoded.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // TupleJSON is one source tuple in responses.
@@ -147,6 +185,13 @@ type SolveResponse struct {
 	// Race reports how a portfolio race went (winner, cancelled losers,
 	// per-member counters); absent when the solver ran no portfolio.
 	Race *core.RaceSnapshot `json:"race,omitempty"`
+	// Tenant is the admission-resolved tenant the solve was accounted to.
+	Tenant string `json:"tenant,omitempty"`
+	// Degraded marks a solve the overload ladder downgraded to the
+	// tenant's cheap solver under a tightened deadline; DegradedRule names
+	// the policy rule that fired.
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedRule string `json:"degradedRule,omitempty"`
 }
 
 // Machine-readable error codes (see docs/OPERATIONS.md for the taxonomy).
@@ -162,12 +207,16 @@ const (
 	codeNotFound          = "not_found"
 	codeSolverUnstoppable = "solver_unstoppable"
 	codeBatchTooLarge     = "batch_too_large"
+	codeSolverDenied      = "solver_denied"
 )
 
 type errorResponse struct {
 	Error     string `json:"error"`
 	Code      string `json:"code,omitempty"`
 	RequestID string `json:"requestId,omitempty"`
+	// Rule names the admission-policy rule behind a 429/403 (rate-limit,
+	// tenant-concurrency, overload, solver-allow-list).
+	Rule string `json:"rule,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -194,6 +243,25 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// tenantShaping resolves the policy that shapes a request: the
+// middleware's header-resolved tenant, refined by the body's tenant field
+// when the header did not explicitly match a configured tenant. pol is
+// nil outside the admission middleware (direct library embedding).
+func (a *api) tenantShaping(ctx context.Context, bodyTenant string) (string, *admission.TenantPolicy, *admission.RequestInfo) {
+	info := admission.InfoFromContext(ctx)
+	if info == nil {
+		return "", nil, nil
+	}
+	tenant := info.Tenant
+	_, pol, _ := a.cfg.Admission.Resolve(tenant)
+	if !info.Explicit && bodyTenant != "" {
+		if name, p2, explicit := a.cfg.Admission.Resolve(bodyTenant); explicit {
+			tenant, pol = name, p2
+		}
+	}
+	return tenant, pol, info
 }
 
 // solveDeadline resolves the request's timeout field against the
@@ -363,9 +431,25 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
+	tenant, pol, info := a.tenantShaping(ctx, req.Tenant)
+	if pol != nil && pol.MaxDeadline > 0 && deadline > pol.MaxDeadline {
+		deadline = pol.MaxDeadline
+	}
+	// A request the overload ladder downgraded runs the tenant's cheap
+	// solver under its tightened deadline, whatever the body asked for.
+	degraded, degradedRule := false, ""
+	if info != nil && info.Degraded {
+		degraded, degradedRule = true, info.Rule
+		if dd := pol.DegradeDeadlineOrDefault(); deadline > dd {
+			deadline = dd
+		}
+	}
 	tr := a.cfg.Tracer.Start("solve")
 	defer tr.Finish()
 	tr.SetAttr("requestId", reqID)
+	if tenant != "" {
+		tr.SetAttr("tenant", tenant)
+	}
 
 	endParse := tr.Span("parse")
 	db, queries, delta, err := parseInstance(req)
@@ -390,11 +474,33 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	if name == "" {
 		name = "auto"
 	}
+	// The allow-list matches the *requested* name ("auto" included), so
+	// operators reason about what clients ask for, not what the router
+	// resolves it to.
+	if !pol.AllowsSolver(name) {
+		return nil, &solveError{http.StatusForbidden, codeSolverDenied,
+			fmt.Errorf("tenant %q may not request solver %q", tenant, name)}
+	}
+	if degraded {
+		name = pol.DegradeSolverName()
+	}
 	endClassify := tr.Span("classify")
 	solver, err := PickSolver(name, p)
 	endClassify()
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeUnknownSolver, err}
+	}
+	// An open circuit breaker routes the request to the tenant's fallback
+	// solver while half-open probes test recovery. If the fallback resolves
+	// to the same (broken) solver there is nothing cheaper to run, so the
+	// request proceeds and its outcome is ignored by the open breaker.
+	if !a.breakers.Allow(solver.Name()) {
+		if fb, ferr := PickSolver(pol.DegradeSolverName(), p); ferr == nil && fb.Name() != solver.Name() {
+			a.observeBreakerReroute(solver.Name(), fb.Name())
+			a.cfg.Logger.Warn("breaker open; rerouting to fallback solver",
+				"requestId", reqID, "solver", solver.Name(), "fallback", fb.Name())
+			solver = fb
+		}
 	}
 	tr.SetAttr("solver", solver.Name())
 
@@ -408,16 +514,34 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	solveDur := time.Since(solveStart)
 	endSolve()
 
-	// finish records the solve metrics and the structured solve log line
-	// exactly once per request, whatever the outcome.
+	// finish records the solve metrics, the breaker outcome, and the
+	// structured solve log line exactly once per request, whatever the
+	// outcome.
 	snap := stats.Snapshot()
 	finish := func(outcome string) {
 		tr.SetAttr("outcome", outcome)
 		a.observeSolve(solver.Name(), outcome, solveDur, snap)
+		// Hard failures (the solver broke, not the input) feed the breaker;
+		// client cancellations and solver-reported errors are neutral so a
+		// misbehaving client cannot trip a healthy solver's breaker.
+		switch outcome {
+		case "panic", "timeout", "unstoppable":
+			a.breakers.Record(solver.Name(), admission.OutcomeFailure)
+		case "ok", "partial":
+			a.breakers.Record(solver.Name(), admission.OutcomeSuccess)
+		default:
+			a.breakers.Record(solver.Name(), admission.OutcomeNeutral)
+		}
+		if degraded {
+			a.observeDegraded(tenant, degradedRule)
+		}
 		a.cfg.Logger.Info("solve",
 			"requestId", reqID,
 			"solver", solver.Name(),
 			"outcome", outcome,
+			"tenant", tenant,
+			"degraded", degraded,
+			"rule", degradedRule,
 			"dbSize", dbSize,
 			"queries", numQueries,
 			"deltaSize", deltaSize,
@@ -482,6 +606,9 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		Interrupted:  interrupted,
 		RequestID:    reqID,
 		Stats:        &snap,
+		Tenant:       tenant,
+		Degraded:     degraded,
+		DegradedRule: degradedRule,
 	}
 	for _, id := range sol.Deleted {
 		resp.Deleted = append(resp.Deleted, toTupleJSON(id))
@@ -716,6 +843,15 @@ func (a *api) handleResilience(w http.ResponseWriter, r *http.Request) {
 	}
 	if budget > a.cfg.MaxResilienceBudget {
 		budget = a.cfg.MaxResilienceBudget
+	}
+	// Tenant caps tighten (never widen) the server-wide caps.
+	if _, pol, _ := a.tenantShaping(r.Context(), req.Tenant); pol != nil {
+		if pol.MaxResilienceBudget > 0 && budget > pol.MaxResilienceBudget {
+			budget = pol.MaxResilienceBudget
+		}
+		if pol.MaxDeadline > 0 && deadline > pol.MaxDeadline {
+			deadline = pol.MaxDeadline
+		}
 	}
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {

@@ -133,6 +133,51 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the bucket that holds the target rank —
+// the same estimate Prometheus' histogram_quantile computes. It returns 0
+// when the histogram is empty, and the largest finite bound when the rank
+// falls in the +Inf overflow bucket (there is no upper edge to interpolate
+// toward). The server derives Retry-After hints from live latency this
+// way. Concurrent Observes may skew the estimate by a sample; that is fine
+// for a hint.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum, lower := int64(0), 0.0
+	for i, bound := range h.bounds {
+		c := h.buckets[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+		lower = bound
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

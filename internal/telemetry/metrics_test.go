@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -215,5 +216,62 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if v := r.Gauge("delprop_http_in_flight_requests", "In flight.", nil).Value(); v != 0 {
 		t.Errorf("in-flight gauge = %v, want 0", v)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// Empty histogram: no estimate.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// 10 observations uniformly in (1, 2]: every quantile interpolates
+	// inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("q50 = %v, want inside (1, 2]", got)
+	}
+	if lo, hi := h.Quantile(0.1), h.Quantile(0.9); lo > hi {
+		t.Errorf("quantiles not monotone: q10=%v > q90=%v", lo, hi)
+	}
+	// Skewed tail: 9 fast, 1 slow. q95 must land in the slow bucket.
+	h2 := newHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 9; i++ {
+		h2.Observe(0.5)
+	}
+	h2.Observe(7)
+	if got := h2.Quantile(0.95); got <= 4 || got > 8 {
+		t.Errorf("q95 = %v, want inside (4, 8]", got)
+	}
+	if got := h2.Quantile(0.5); got > 1 {
+		t.Errorf("q50 = %v, want <= 1", got)
+	}
+}
+
+func TestHistogramQuantileOverflowAndClamp(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // +Inf overflow bucket
+	// No finite bucket holds the rank: report the largest finite bound.
+	if got := h.Quantile(0.9); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(1.5); got != 2 {
+		t.Errorf("clamped q = %v", got)
+	}
+	if got := h.Quantile(-1); got != 2 {
+		// rank 0 with only the overflow bucket populated still reports the
+		// largest finite bound.
+		t.Errorf("negative q = %v", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("NaN q = %v", got)
+	}
+	// Nil receiver is a no-op sink like the rest of the package.
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil quantile = %v", got)
 	}
 }
