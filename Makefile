@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke chaos-smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke chaos-smoke events-smoke clean
 
 all: build test
 
@@ -97,6 +97,14 @@ smoke:
 # ladder (docs/OPERATIONS.md "Admission control and degradation").
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# End-to-end live-telemetry check: boots delpropd, subscribes to the GET
+# /events SSE stream (curl -N and delprop tail), drives a solve, and
+# asserts the correlated solve_start → phase → incumbent → solve_done
+# sequence plus the delprop_events_* bus metrics (docs/OBSERVABILITY.md
+# "Live event stream").
+events-smoke:
+	./scripts/events_smoke.sh
 
 clean:
 	$(GO) clean -testcache

@@ -26,6 +26,13 @@
 // pruned, checkpoints, incumbent updates, restarts) after the solve — the
 // same numbers the server exports on /metrics (see
 // docs/OBSERVABILITY.md).
+//
+// delprop tail follows a running delpropd daemon's GET /events stream
+// (solve lifecycle, incumbents, race members, admission and breaker
+// events) and renders each event as one log line, or raw JSON with
+// -json:
+//
+//	delprop tail -addr http://127.0.0.1:8080 [-tenant t] [-solver s] [-type a,b] [-json] [-n count]
 package main
 
 import (
@@ -46,6 +53,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch happens before flag.Parse so "tail" owns its own
+	// flag set; everything else falls through to the classic solve CLI.
+	if len(os.Args) > 1 && os.Args[1] == "tail" {
+		os.Exit(runTail(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	dbPath := flag.String("db", "", "database file (textio format)")
 	qPath := flag.String("queries", "", "datalog query program")
 	dPath := flag.String("delete", "", "deletion request file")

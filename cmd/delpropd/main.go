@@ -9,6 +9,7 @@
 //	         [-policy policy.json] [-shed-queue-depth 16]
 //	         [-shed-queue-wait 500ms] [-degraded-lanes 4]
 //	         [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	         [-events-buffer 256] [-events-heartbeat 15s]
 //	         [-fault-solvers]
 //
 // Endpoints (JSON; see internal/server):
@@ -22,11 +23,20 @@
 //	GET  /metrics
 //	GET  /debug/traces
 //	GET  /debug/breakers
+//	GET  /events      (Server-Sent Events: live solve/admission/breaker stream)
+//
+// GET /events streams the live telemetry bus (solve lifecycle, phase
+// timings, incumbents, race members, admission decisions, breaker
+// transitions) as Server-Sent Events with ?tenant=/?solver=/?type=
+// filters; "delprop tail" is the reference consumer. Publishing is
+// non-blocking: a stalled subscriber sheds its oldest buffered events
+// (-events-buffer sets the per-subscriber ring size) and idle streams
+// carry -events-heartbeat keep-alives reporting the drop count.
 //
 // With -ops-addr set, a second listener serves the operational surface
-// (/metrics, /debug/traces, /debug/breakers, /healthz, and /debug/pprof/*
-// when -pprof is also set) so profiling and scraping never compete with
-// public traffic.
+// (/metrics, /debug/traces, /debug/breakers, /events, /healthz, and
+// /debug/pprof/* when -pprof is also set) so profiling and scraping never
+// compete with public traffic.
 //
 // The server enforces per-request solve deadlines, request body limits,
 // and tenant-aware admission control: -policy loads a JSON policy file
@@ -148,6 +158,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	degradedLanes := fs.Int("degraded-lanes", server.DefaultDegradedLanes, "concurrent downgraded solves the overload ladder may run (rung 2)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive hard solver failures (panic/timeout/unstoppable) that trip the solver's circuit breaker (0 = default, negative disables breakers)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before half-open probes test recovery (0 = default)")
+	eventBuffer := fs.Int("events-buffer", server.DefaultEventBuffer, "per-subscriber ring size for GET /events; a lagging consumer sheds its oldest buffered events")
+	eventHeartbeat := fs.Duration("events-heartbeat", server.DefaultEventHeartbeat, "keep-alive interval for idle GET /events streams")
 	faultSolvers := fs.Bool("fault-solvers", false, "register chaos solvers (chaos-flaky, chaos-block, chaos-panic, chaos-ignore) for fault-injection smoke tests; never in production")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,6 +195,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		DegradedLanes:       *degradedLanes,
 		BreakerThreshold:    *breakerThreshold,
 		BreakerCooldown:     *breakerCooldown,
+		EventBuffer:         *eventBuffer,
+		EventHeartbeat:      *eventHeartbeat,
 		Logger:              logger,
 	})
 	srv := &http.Server{

@@ -212,19 +212,23 @@ func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		memberCtxs := make([]context.Context, len(solvers))
 		for i := range solvers {
 			st.Restart()
-			child := &Stats{}
+			// Child inherits the progress hook, so member incumbents stream
+			// live while per-member counters stay private.
+			child := st.Child()
 			outcomes[i].stats = child
 			memberCtx, cancel := context.WithCancel(ctx)
 			cancels[i] = cancel
 			memberCtxs[i] = withStatsValue(memberCtx, child)
 		}
 		for i, s := range solvers {
+			st.emitProgress(ProgressEvent{Kind: ProgressRaceMemberStart, Member: s.Name()})
 			wg.Add(1)
 			go func(memberCtx context.Context, i int, s Solver) {
 				defer wg.Done()
 				o := &outcomes[i]
 				o.sol, o.err = s.Solve(memberCtx, p)
 				proven := evaluate(o)
+				st.emitProgress(memberDoneEvent(s.Name(), o, ctx.Err() != nil))
 				mu.Lock()
 				finished[i] = true
 				if proven && provenIdx == -1 {
@@ -248,16 +252,19 @@ func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 			if provenIdx != -1 {
 				outcomes[i].skipped = true
 				cancelledLosers++
+				st.emitProgress(memberDoneEvent(s.Name(), &outcomes[i], false))
 				continue
 			}
 			st.Restart()
-			child := &Stats{}
+			child := st.Child()
 			outcomes[i].stats = child
 			o := &outcomes[i]
+			st.emitProgress(ProgressEvent{Kind: ProgressRaceMemberStart, Member: s.Name()})
 			o.sol, o.err = s.Solve(withStatsValue(ctx, child), p)
 			if evaluate(o) {
 				provenIdx = i
 			}
+			st.emitProgress(memberDoneEvent(s.Name(), o, ctx.Err() != nil))
 		}
 	}
 
@@ -300,6 +307,17 @@ func (pf *Portfolio) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 		return nil, ErrInfeasibleRestriction
 	}
 	return outcomes[best].sol, nil
+}
+
+// memberDoneEvent renders one race member's finish (or skip) as a live
+// progress event, carrying the feasible objective when it produced one.
+func memberDoneEvent(name string, o *memberOutcome, parentDone bool) ProgressEvent {
+	ev := ProgressEvent{Kind: ProgressRaceMemberDone, Member: name, Outcome: o.classify(parentDone)}
+	if o.feasible {
+		ev.Objective = o.rep.SideEffect
+		ev.Deleted = o.rep.DeletedCount
+	}
+	return ev
 }
 
 // recordRace fills the caller's RaceInfo, when one is installed.

@@ -45,6 +45,83 @@ type Stats struct {
 	objective    float64
 	hasLower     bool
 	lowerBound   float64
+
+	// progress, when set, receives live ProgressEvents (incumbent
+	// installs, lower-bound improvements, race member lifecycle) as they
+	// happen — the server wires it to the event bus so /events streams
+	// them mid-solve. Install before the solve starts (SetProgress);
+	// children created with Child inherit it.
+	progress atomic.Pointer[ProgressFunc]
+}
+
+// Progress event kinds delivered to a ProgressFunc.
+const (
+	// ProgressIncumbent: a best-so-far solution improved (Objective,
+	// Deleted are set).
+	ProgressIncumbent = "incumbent"
+	// ProgressLowerBound: a proven lower bound on the optimum improved
+	// (Objective carries the bound).
+	ProgressLowerBound = "lower_bound"
+	// ProgressRaceMemberStart: a portfolio race member launched (Member
+	// names its solver).
+	ProgressRaceMemberStart = "race_member_start"
+	// ProgressRaceMemberDone: a race member finished, was cancelled, or
+	// was skipped (Member and Outcome are set; Objective/Deleted carry
+	// the member's feasible result when it produced one).
+	ProgressRaceMemberDone = "race_member_done"
+)
+
+// ProgressEvent is one live solve-progress notification. Fields are set
+// per Kind (see the Progress* constants).
+type ProgressEvent struct {
+	Kind      string
+	Objective float64
+	Deleted   int
+	Member    string
+	Outcome   string
+}
+
+// ProgressFunc receives live progress events. It runs inline on solver
+// hot paths (possibly from several goroutines at once during a race), so
+// implementations must be fast, non-blocking and concurrency-safe.
+type ProgressFunc func(ProgressEvent)
+
+// SetProgress installs the live progress hook. Call before the solve
+// starts; the hook must tolerate concurrent invocation.
+func (s *Stats) SetProgress(fn ProgressFunc) {
+	if s == nil {
+		return
+	}
+	if fn == nil {
+		s.progress.Store(nil)
+		return
+	}
+	s.progress.Store(&fn)
+}
+
+// emitProgress delivers one event to the installed hook, if any. Called
+// outside the Stats mutex so a hook may snapshot the Stats safely.
+func (s *Stats) emitProgress(ev ProgressEvent) {
+	if s == nil {
+		return
+	}
+	if fn := s.progress.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}
+
+// Child returns a fresh Stats inheriting the progress hook — Portfolio
+// gives each racing member one so per-member counters stay private while
+// their incumbent events still stream live. Nil-safe: a nil parent
+// yields a detached child.
+func (s *Stats) Child() *Stats {
+	child := &Stats{}
+	if s != nil {
+		if fn := s.progress.Load(); fn != nil {
+			child.progress.Store(fn)
+		}
+	}
+	return child
 }
 
 // IncumbentEvent records one improvement of the best-so-far solution.
@@ -95,6 +172,7 @@ func (s *Stats) Incumbent(objective float64, deleted int) {
 	s.mu.Lock()
 	s.incumbents = append(s.incumbents, IncumbentEvent{At: time.Now(), Objective: objective, Deleted: deleted})
 	s.mu.Unlock()
+	s.emitProgress(ProgressEvent{Kind: ProgressIncumbent, Objective: objective, Deleted: deleted})
 }
 
 // SetObjective records the achieved objective value of the solution the
@@ -118,12 +196,23 @@ func (s *Stats) ObserveLowerBound(v float64) {
 	if s == nil {
 		return
 	}
+	s.observeLower(v, true)
+}
+
+// observeLower installs the bound, emitting a progress event on
+// improvement only when emit is set — Merge folds a child's bound in
+// silently because the child's own hook already streamed it live.
+func (s *Stats) observeLower(v float64, emit bool) {
 	s.mu.Lock()
-	if !s.hasLower || v > s.lowerBound {
+	improved := !s.hasLower || v > s.lowerBound
+	if improved {
 		s.hasLower = true
 		s.lowerBound = v
 	}
 	s.mu.Unlock()
+	if improved && emit {
+		s.emitProgress(ProgressEvent{Kind: ProgressLowerBound, Objective: v})
+	}
 }
 
 // StatsSnapshot is an immutable copy of the counters, JSON-ready for the
@@ -212,7 +301,7 @@ func (s *Stats) Merge(o *Stats) {
 		s.mu.Unlock()
 	}
 	if snap.LowerBound != nil {
-		s.ObserveLowerBound(*snap.LowerBound)
+		s.observeLower(*snap.LowerBound, false)
 	}
 }
 

@@ -256,6 +256,34 @@ func TestDegradationLadderDowngrades(t *testing.T) {
 		}
 	}
 
+	// The degraded solve's trace carries tenant/degraded/rule attrs, so
+	// /debug/traces answers "whose solves were degraded, and why".
+	tresp, err := http.Get(srv.URL + "/debug/traces?tenant=default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces TracesResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	foundDegraded := false
+	for _, trace := range traces.Traces {
+		if trace.Attrs["degraded"] == "true" {
+			foundDegraded = true
+			if trace.Attrs["rule"] != admission.RuleOverloadDegrade {
+				t.Errorf("degraded trace rule = %q, want %q",
+					trace.Attrs["rule"], admission.RuleOverloadDegrade)
+			}
+			if trace.Attrs["tenant"] != "default" {
+				t.Errorf("degraded trace tenant = %q", trace.Attrs["tenant"])
+			}
+		}
+	}
+	if !foundDegraded {
+		t.Errorf("no degraded trace in /debug/traces: %+v", traces.Traces)
+	}
+
 	close(hold.release)
 	<-holdDone
 }

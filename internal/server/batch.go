@@ -146,7 +146,7 @@ func (a *api) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			ok, retry := a.cfg.Admission.Charge(tenant)
 			charged[i], chargeErr[i] = ok, retry
 			if !ok {
-				a.observeAdmission(tenant, "shed-"+admission.RuleRateLimit)
+				a.observeAdmission(reqID, tenant, "shed-"+admission.RuleRateLimit)
 			}
 		}
 	} else {

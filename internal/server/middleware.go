@@ -67,6 +67,17 @@ type Config struct {
 	// Tracer records per-solve phase traces; nil means a fresh tracer
 	// with DefaultTraceBuffer capacity (exposed on GET /debug/traces).
 	Tracer *telemetry.Tracer
+	// Events is the live telemetry bus GET /events streams from; nil
+	// means a fresh bus. Publishing is non-blocking: a slow subscriber
+	// loses its oldest buffered events, never delays a solve.
+	Events *telemetry.Bus
+	// EventBuffer is each /events subscriber's ring capacity (events kept
+	// while the consumer catches up); 0 means DefaultEventBuffer.
+	EventBuffer int
+	// EventHeartbeat is how often an idle /events stream emits a
+	// heartbeat event (carrying the subscriber's drop counter); 0 means
+	// DefaultEventHeartbeat.
+	EventHeartbeat time.Duration
 }
 
 // Defaults applied by withDefaults.
@@ -82,6 +93,8 @@ const (
 	DefaultShedQueueDepth     = 16
 	DefaultShedQueueWait      = 500 * time.Millisecond
 	DefaultDegradedLanes      = 4
+	DefaultEventBuffer        = telemetry.DefaultSubscriberBuffer
+	DefaultEventHeartbeat     = 15 * time.Second
 )
 
 // DefaultConfig returns the production defaults documented in
@@ -140,6 +153,15 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = telemetry.NewTracer(0)
 	}
+	if c.Events == nil {
+		c.Events = telemetry.NewBus()
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = DefaultEventBuffer
+	}
+	if c.EventHeartbeat <= 0 {
+		c.EventHeartbeat = DefaultEventHeartbeat
+	}
 	return c
 }
 
@@ -184,6 +206,14 @@ type statusRecorder struct {
 func (s *statusRecorder) WriteHeader(code int) {
 	s.status = code
 	s.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming support so SSE handlers (GET /events) work
+// through the instrumentation wrapper.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument is the outermost middleware: mints a request id, recovers
@@ -263,7 +293,7 @@ func (a *api) admit(next http.Handler, degradable bool) http.Handler {
 		tenant, pol, explicit := eng.Resolve(claimed)
 		dec := eng.Admit(tenant)
 		if !dec.OK {
-			a.observeAdmission(dec.Tenant, "shed-"+dec.Rule)
+			a.observeAdmission(requestID(r), dec.Tenant, "shed-"+dec.Rule)
 			retry := int(dec.RetryAfter / time.Second)
 			if retry < 1 {
 				retry = a.retryAfterSeconds()
@@ -285,7 +315,7 @@ func (a *api) admit(next http.Handler, degradable bool) http.Handler {
 		// Full-fidelity fast path.
 		select {
 		case a.sem <- struct{}{}:
-			a.observeAdmission(dec.Tenant, "admitted")
+			a.observeAdmission(requestID(r), dec.Tenant, "admitted")
 			defer func() { <-a.sem }()
 			next.ServeHTTP(w, r)
 			return
@@ -305,7 +335,7 @@ func (a *api) admit(next http.Handler, degradable bool) http.Handler {
 			case a.degradedSem <- struct{}{}:
 				info.Degraded = true
 				info.Rule = admission.RuleOverloadDegrade
-				a.observeAdmission(dec.Tenant, "degraded")
+				a.observeAdmission(requestID(r), dec.Tenant, "degraded")
 				defer func() { <-a.degradedSem }()
 				next.ServeHTTP(w, r)
 				return
@@ -314,7 +344,7 @@ func (a *api) admit(next http.Handler, degradable bool) http.Handler {
 		}
 
 		// Rung 3: shed, with a live Retry-After estimate.
-		a.observeAdmission(dec.Tenant, "shed-"+admission.RuleOverload)
+		a.observeAdmission(requestID(r), dec.Tenant, "shed-"+admission.RuleOverload)
 		a.shedResponse(w, r, admission.RuleOverload, a.retryAfterSeconds(),
 			fmt.Errorf("server at capacity (%d concurrent requests)", a.cfg.MaxConcurrent))
 	})
@@ -338,7 +368,7 @@ func (a *api) queueForSlot(w http.ResponseWriter, r *http.Request, tenant string
 		a.cfg.Metrics.Histogram(metricAdmissionQueueWait,
 			"Seconds high-priority requests waited in the bounded overload queue before getting a slot.",
 			nil, nil).Observe(time.Since(start).Seconds())
-		a.observeAdmission(tenant, "queued")
+		a.observeAdmission(requestID(r), tenant, "queued")
 		defer func() { <-a.sem }()
 		next.ServeHTTP(w, r)
 		return true

@@ -55,6 +55,11 @@ const (
 	metricBreakerState       = "delprop_breaker_state"
 	metricBreakerTransitions = "delprop_breaker_transitions_total"
 	metricBreakerRerouted    = "delprop_breaker_rerouted_total"
+
+	// Live telemetry bus behind GET /events.
+	metricEventsPublished   = "delprop_events_published_total"
+	metricEventsDropped     = "delprop_events_dropped_total"
+	metricEventsSubscribers = "delprop_events_subscribers"
 )
 
 // qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
@@ -118,12 +123,14 @@ func (a *api) observeSolve(solver, outcome string, dur time.Duration, snap core.
 	a.latencyAll.Observe(dur.Seconds())
 }
 
-// observeAdmission counts one admission-ladder decision for a tenant.
-// decision is one of admitted, queued, degraded, or shed-<rule>.
-func (a *api) observeAdmission(tenant, decision string) {
+// observeAdmission counts one admission-ladder decision for a tenant and
+// mirrors it onto the live event bus. decision is one of admitted,
+// queued, degraded, or shed-<rule>.
+func (a *api) observeAdmission(reqID, tenant, decision string) {
 	a.cfg.Metrics.Counter(metricAdmissionDecisions,
 		"Admission-ladder decisions, by tenant and decision (admitted, queued, degraded, shed-<rule>).",
 		telemetry.Labels{"tenant": tenant, "decision": decision}).Inc()
+	a.publishEvent(eventAdmission, reqID, 0, tenant, "", map[string]any{"decision": decision})
 }
 
 // observeDegraded counts one solve that ran downgraded, by tenant and the
@@ -167,6 +174,27 @@ func (a *api) registerBreakerMetrics() {
 		reg.Counter(metricBreakerTransitions,
 			"Circuit breaker state transitions, by solver and destination state.",
 			telemetry.Labels{"solver": solver, "to": to.String()}).Inc()
+		a.publishEvent(eventBreaker, "", 0, "", solver, map[string]any{"state": to.String()})
+	})
+}
+
+// registerEventMetrics wires the live event bus's health hooks to the
+// delprop_events_* family: published and dropped counters plus the
+// current subscriber gauge. Like the breaker hook, these run inline on
+// the publish path and stay allocation-light (the metric handles are
+// resolved once here).
+func (a *api) registerEventMetrics() {
+	reg := a.cfg.Metrics
+	published := reg.Counter(metricEventsPublished,
+		"Events published onto the live telemetry bus (whether or not anyone was subscribed).", nil)
+	dropped := reg.Counter(metricEventsDropped,
+		"Events evicted from a slow /events subscriber's bounded buffer instead of delaying a solve.", nil)
+	subscribers := reg.Gauge(metricEventsSubscribers,
+		"Current /events subscriptions.", nil)
+	a.cfg.Events.SetHooks(telemetry.BusHooks{
+		OnPublish:     published.Inc,
+		OnDrop:        dropped.Inc,
+		OnSubscribers: func(n int) { subscribers.Set(float64(n)) },
 	})
 }
 
@@ -265,19 +293,38 @@ type TracesResponse struct {
 	Traces []telemetry.TraceJSON `json:"traces"`
 }
 
-// handleTraces returns the most recent finished solve traces, oldest
-// first. Query parameters: ?solver=<name> keeps only traces whose solver
-// attribute matches, and ?format=text renders a human-readable listing
-// instead of the default JSON.
+// handleTraces returns solve traces, oldest first. Query parameters:
+// ?state=finished (default) serves the ring of completed traces,
+// ?state=live serves the solves still in flight (open spans render with
+// zero duration, the trace carries live:true and its elapsed time), and
+// ?state=all concatenates both. ?solver=<name> and ?tenant=<name> keep
+// only traces whose attribute matches, and ?format=text renders a
+// human-readable listing instead of the default JSON.
 func (a *api) handleTraces(w http.ResponseWriter, r *http.Request) {
-	snap := a.cfg.Tracer.Snapshot()
+	var snap []telemetry.TraceJSON
+	switch state := r.URL.Query().Get("state"); state {
+	case "", "finished":
+		snap = a.cfg.Tracer.Snapshot()
+	case "live":
+		snap = a.cfg.Tracer.LiveSnapshot()
+	case "all":
+		snap = append(a.cfg.Tracer.Snapshot(), a.cfg.Tracer.LiveSnapshot()...)
+	default:
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf("state: unknown value %q (want finished, live or all)", state), requestID(r))
+		return
+	}
 	if snap == nil {
 		snap = []telemetry.TraceJSON{}
 	}
-	if solver := r.URL.Query().Get("solver"); solver != "" {
+	for _, attr := range []string{"solver", "tenant"} {
+		want := r.URL.Query().Get(attr)
+		if want == "" {
+			continue
+		}
 		kept := make([]telemetry.TraceJSON, 0, len(snap))
 		for _, t := range snap {
-			if t.Attrs["solver"] == solver {
+			if t.Attrs[attr] == want {
 				kept = append(kept, t)
 			}
 		}
@@ -343,16 +390,17 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // OpsHandler returns the operational endpoint mux intended for a separate,
 // non-public listener (delpropd's -ops-addr): /metrics, /debug/traces,
-// /healthz, and — when enablePprof is set — the net/http/pprof profiling
-// handlers under /debug/pprof/. pprof is opt-in because profiles can stall
-// the process and leak internals; never expose this mux to untrusted
-// clients.
+// /events, /healthz, and — when enablePprof is set — the net/http/pprof
+// profiling handlers under /debug/pprof/. pprof is opt-in because profiles
+// can stall the process and leak internals; never expose this mux to
+// untrusted clients.
 func (s *Server) OpsHandler(enablePprof bool) http.Handler {
 	a := s.api
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
+	mux.HandleFunc("GET /events", a.handleEvents)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

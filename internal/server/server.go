@@ -69,6 +69,7 @@ func NewHandler(cfg Config) *Server {
 		"Solve latency in seconds aggregated across solvers; shed responses derive Retry-After from its p90.",
 		nil, nil)
 	a.registerBreakerMetrics()
+	a.registerEventMetrics()
 	a.registerBuildInfo()
 	mux := http.NewServeMux()
 	// solve and batch are degradable: the overload ladder may downgrade
@@ -85,6 +86,10 @@ func NewHandler(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
+	// The live event stream is an observability read like /metrics: it
+	// stays outside the shedder so an operator can watch a saturated
+	// server, and it is also mounted on the ops listener (OpsHandler).
+	mux.HandleFunc("GET /events", a.handleEvents)
 	return &Server{api: a, handler: a.instrument(mux)}
 }
 
@@ -103,6 +108,10 @@ func (s *Server) SetDraining(v bool) {
 		"1 once SIGTERM drain has begun, 0 while serving normally.", nil)
 	if v {
 		g.Set(1)
+		// End the live /events subscriptions: each stream writes a terminal
+		// stream_end event (with its drop count) and closes, so open SSE
+		// connections never hold http.Server.Shutdown hostage.
+		s.api.cfg.Events.Shutdown()
 	} else {
 		g.Set(0)
 	}
@@ -118,6 +127,10 @@ func (s *Server) Metrics() *telemetry.Registry { return s.api.cfg.Metrics }
 // Tracer returns the server's solve tracer (the one GET /debug/traces
 // snapshots).
 func (s *Server) Tracer() *telemetry.Tracer { return s.api.cfg.Tracer }
+
+// Events returns the server's live telemetry bus (the one GET /events
+// streams from).
+func (s *Server) Events() *telemetry.Bus { return s.api.cfg.Events }
 
 // Admission returns the server's admission engine — delpropd holds it to
 // hot-reload the policy on SIGHUP.
@@ -450,16 +463,42 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	if tenant != "" {
 		tr.SetAttr("tenant", tenant)
 	}
+	if degraded {
+		// Keep the admission outcome on the trace so /debug/traces can
+		// answer "whose solves degraded" without grepping logs.
+		tr.SetAttr("degraded", "true")
+		tr.SetAttr("rule", degradedRule)
+	}
+	traceID := tr.ID()
+
+	// Live egress: every event of this solve carries the request id and
+	// trace id, so a /events consumer can join the stream against the
+	// /solve response, the log line and /debug/traces.
+	requested := req.Solver
+	if requested == "" {
+		requested = "auto"
+	}
+	a.publishEvent(eventSolveStart, reqID, traceID, tenant, requested, map[string]any{
+		"deadlineMs": float64(deadline) / float64(time.Millisecond),
+		"degraded":   degraded,
+	})
+	phase := func(name string, solverName string, end func()) {
+		end()
+		a.publishEvent(eventPhase, reqID, traceID, tenant, solverName, map[string]any{
+			"phase":      name,
+			"durationMs": float64(tr.SpanDuration(name)) / float64(time.Millisecond),
+		})
+	}
 
 	endParse := tr.Span("parse")
 	db, queries, delta, err := parseInstance(req)
-	endParse()
+	phase("parse", requested, endParse)
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
 	endViews := tr.Span("views")
 	p, err := materializeProblem(req, db, queries, delta)
-	endViews()
+	phase("views", requested, endViews)
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
 	}
@@ -486,7 +525,7 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	}
 	endClassify := tr.Span("classify")
 	solver, err := PickSolver(name, p)
-	endClassify()
+	phase("classify", name, endClassify)
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeUnknownSolver, err}
 	}
@@ -508,11 +547,32 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	defer cancel()
 	ctx, stats := core.WithStats(ctx)
 	ctx, race := core.WithRace(ctx)
+	// Stream solver progress live: incumbent improvements, lower-bound
+	// certificates and race member lifecycle flow straight from the
+	// solver goroutines onto the (non-blocking) bus.
+	resolvedSolver := solver.Name()
+	stats.SetProgress(func(pe core.ProgressEvent) {
+		fields := make(map[string]any, 3)
+		switch pe.Kind {
+		case core.ProgressIncumbent:
+			fields["objective"] = pe.Objective
+			fields["deleted"] = pe.Deleted
+		case core.ProgressLowerBound:
+			fields["bound"] = pe.Objective
+		case core.ProgressRaceMemberStart, core.ProgressRaceMemberDone:
+			fields["member"] = pe.Member
+			if pe.Outcome != "" {
+				fields["outcome"] = pe.Outcome
+				fields["objective"] = pe.Objective
+			}
+		}
+		a.publishEvent(pe.Kind, reqID, traceID, tenant, resolvedSolver, fields)
+	})
 	endSolve := tr.Span("solve")
 	solveStart := time.Now()
 	out, stopped := a.runSolve(ctx, reqID, solver, p, deadline)
 	solveDur := time.Since(solveStart)
-	endSolve()
+	phase("solve", resolvedSolver, endSolve)
 
 	// finish records the solve metrics, the breaker outcome, and the
 	// structured solve log line exactly once per request, whatever the
@@ -521,6 +581,20 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	finish := func(outcome string) {
 		tr.SetAttr("outcome", outcome)
 		a.observeSolve(solver.Name(), outcome, solveDur, snap)
+		doneFields := map[string]any{
+			"outcome":    outcome,
+			"durationMs": float64(solveDur) / float64(time.Millisecond),
+			"nodes":      snap.NodesExpanded,
+			"incumbents": snap.IncumbentUpdates,
+		}
+		if snap.Objective != nil {
+			doneFields["objective"] = *snap.Objective
+		}
+		if degraded {
+			doneFields["degraded"] = true
+			doneFields["rule"] = degradedRule
+		}
+		a.publishEvent(eventSolveDone, reqID, traceID, tenant, solver.Name(), doneFields)
 		// Hard failures (the solver broke, not the input) feed the breaker;
 		// client cancellations and solver-reported errors are neutral so a
 		// misbehaving client cannot trip a healthy solver's breaker.
@@ -631,7 +705,7 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 	// Re-snapshot so the response stats and the quality-ratio histogram in
 	// finish() see the evaluate-phase objective and bound.
 	snap = stats.Snapshot()
-	endEvaluate()
+	phase("evaluate", solver.Name(), endEvaluate)
 	if race.Ran() {
 		rs := race.Snapshot()
 		resp.Race = &rs

@@ -250,6 +250,69 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the boundary contract of Quantile:
+// empty histograms, the extreme quantiles q=0 and q=1, a single-bucket
+// layout, and a histogram whose entire mass sits in the +Inf overflow
+// bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2, 4})
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("q0 and q1", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2, 4})
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+		// q=0 interpolates at rank 0: the lower edge of the first populated
+		// bucket (the implicit 0 origin).
+		if got := h.Quantile(0); got != 0 {
+			t.Errorf("Quantile(0) = %v, want 0 (lower edge of first bucket)", got)
+		}
+		// q=1 is the full rank: the upper bound of the last populated bucket.
+		if got := h.Quantile(1); got != 4 {
+			t.Errorf("Quantile(1) = %v, want 4", got)
+		}
+		if lo, hi := h.Quantile(0), h.Quantile(1); lo > hi {
+			t.Errorf("extremes not ordered: q0=%v > q1=%v", lo, hi)
+		}
+	})
+	t.Run("single bucket", func(t *testing.T) {
+		h := newHistogram([]float64{10})
+		for i := 0; i < 4; i++ {
+			h.Observe(5)
+		}
+		// Every quantile interpolates inside [0, 10]; the median of a
+		// uniform rank split lands at the midpoint.
+		if got := h.Quantile(0.5); got != 5 {
+			t.Errorf("single-bucket Quantile(0.5) = %v, want 5", got)
+		}
+		if got := h.Quantile(1); got != 10 {
+			t.Errorf("single-bucket Quantile(1) = %v, want 10", got)
+		}
+		if got := h.Quantile(0.25); got < 0 || got > 10 {
+			t.Errorf("single-bucket Quantile(0.25) = %v, outside [0, 10]", got)
+		}
+	})
+	t.Run("all mass in +Inf", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2, 4})
+		h.Observe(100)
+		h.Observe(200)
+		// No finite bucket holds any rank: every quantile reports the
+		// largest finite bound (there is no upper edge to interpolate
+		// toward).
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 4 {
+				t.Errorf("overflow-only Quantile(%v) = %v, want 4", q, got)
+			}
+		}
+	})
+}
+
 func TestHistogramQuantileOverflowAndClamp(t *testing.T) {
 	h := newHistogram([]float64{1, 2})
 	h.Observe(100) // +Inf overflow bucket

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Server-Sent Events framing (the subset of the WHATWG EventSource wire
+// format the /events endpoint speaks): one event is an optional "event:"
+// name line, an optional "id:" line, one or more "data:" lines, and a
+// blank line terminator. Lines starting with ':' are comments (used for
+// heartbeats by convention; /events sends typed heartbeat events instead
+// so consumers see drop counters). The server side writes with WriteSSE;
+// delprop tail reads with ReadSSE.
+
+// SSEMessage is one decoded server-sent event.
+type SSEMessage struct {
+	// Name is the "event:" field ("message" when the stream omitted it).
+	Name string
+	// ID is the "id:" field, verbatim.
+	ID string
+	// Data is the concatenated "data:" payload (multi-line data joined
+	// with '\n', per the EventSource algorithm).
+	Data string
+}
+
+// WriteSSE frames one event onto w. Newlines inside data are split into
+// multiple data: lines so the payload round-trips.
+func WriteSSE(w io.Writer, name, id, data string) error {
+	if name != "" {
+		if _, err := fmt.Fprintf(w, "event: %s\n", name); err != nil {
+			return err
+		}
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	for _, line := range strings.Split(data, "\n") {
+		if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ReadSSE decodes events from r, calling fn for each complete event. It
+// returns nil on EOF, fn's error if fn fails, or the read error
+// otherwise. A trailing event unterminated by a blank line is delivered
+// before EOF is reported.
+func ReadSSE(r io.Reader, fn func(SSEMessage) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		msg     SSEMessage
+		data    []string
+		started bool
+	)
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		if msg.Name == "" {
+			msg.Name = "message"
+		}
+		msg.Data = strings.Join(data, "\n")
+		err := fn(msg)
+		msg, data, started = SSEMessage{}, nil, false
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		default:
+			field, value, _ := strings.Cut(line, ":")
+			value = strings.TrimPrefix(value, " ")
+			switch field {
+			case "event":
+				msg.Name, started = value, true
+			case "id":
+				msg.ID, started = value, true
+			case "data":
+				data, started = append(data, value), true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteSSEFraming(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSSE(&b, "incumbent", "7", `{"objective":3}`); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: incumbent\nid: 7\ndata: {\"objective\":3}\n\n"
+	if b.String() != want {
+		t.Errorf("frame = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteSSEMultilineData(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSSE(&b, "note", "", "line1\nline2"); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: note\ndata: line1\ndata: line2\n\n"
+	if b.String() != want {
+		t.Errorf("frame = %q, want %q", b.String(), want)
+	}
+}
+
+func TestReadSSERoundTrip(t *testing.T) {
+	var b strings.Builder
+	_ = WriteSSE(&b, "solve_start", "1", `{"a":1}`)
+	_ = WriteSSE(&b, "solve_done", "2", "x\ny")
+	var got []SSEMessage
+	err := ReadSSE(strings.NewReader(b.String()), func(m SSEMessage) error {
+		got = append(got, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d messages, want 2", len(got))
+	}
+	if got[0].Name != "solve_start" || got[0].ID != "1" || got[0].Data != `{"a":1}` {
+		t.Errorf("msg 0 = %+v", got[0])
+	}
+	if got[1].Name != "solve_done" || got[1].Data != "x\ny" {
+		t.Errorf("msg 1 = %+v (multi-line data must rejoin with \\n)", got[1])
+	}
+}
+
+func TestReadSSECommentsAndDefaults(t *testing.T) {
+	// Comments are skipped; an event without an explicit name defaults to
+	// "message"; a trailing unterminated event is still delivered.
+	stream := ": keep-alive\ndata: hello\n\n: another comment\ndata: tail"
+	var got []SSEMessage
+	if err := ReadSSE(strings.NewReader(stream), func(m SSEMessage) error {
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d messages, want 2", len(got))
+	}
+	if got[0].Name != "message" || got[0].Data != "hello" {
+		t.Errorf("msg 0 = %+v", got[0])
+	}
+	if got[1].Data != "tail" {
+		t.Errorf("trailing msg = %+v", got[1])
+	}
+}
+
+func TestReadSSECallbackError(t *testing.T) {
+	stream := "data: a\n\ndata: b\n\n"
+	sentinel := errors.New("stop")
+	calls := 0
+	err := ReadSSE(strings.NewReader(stream), func(m SSEMessage) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after error, want 1", calls)
+	}
+}

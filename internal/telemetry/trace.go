@@ -1,19 +1,23 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
 
 // Tracer records traces — one per solve lifecycle — into a fixed-size
-// ring buffer of the most recent finished traces. A nil *Tracer is a
-// valid no-op tracer, so instrumented code needs no guards.
+// ring buffer of the most recent finished traces, and tracks the traces
+// still in flight so long solves are visible before they finish
+// (/debug/traces?state=live). A nil *Tracer is a valid no-op tracer, so
+// instrumented code needs no guards.
 //
 //delprop:nilsafe
 type Tracer struct {
 	mu     sync.Mutex
 	cap    int
 	ring   []*Trace // most recent cap finished traces, oldest first
+	live   map[uint64]*Trace
 	nextID uint64
 }
 
@@ -52,7 +56,8 @@ type span struct {
 	end   time.Time
 }
 
-// Start begins a trace. Finish must be called to commit it to the ring.
+// Start begins a trace and registers it as live. Finish must be called
+// to commit it to the ring (and drop it from the live set).
 func (t *Tracer) Start(name string) *Trace {
 	if t == nil {
 		return nil
@@ -60,8 +65,22 @@ func (t *Tracer) Start(name string) *Trace {
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
+	tr := &Trace{tracer: t, id: id, name: name, start: time.Now()}
+	if t.live == nil {
+		t.live = make(map[uint64]*Trace)
+	}
+	t.live[id] = tr
 	t.mu.Unlock()
-	return &Trace{tracer: t, id: id, name: name, start: time.Now()}
+	return tr
+}
+
+// ID returns the trace's tracer-assigned id (0 for a nil trace) — the
+// same id /debug/traces reports, so live event streams can correlate.
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.id
 }
 
 // SetAttr attaches a key/value attribute (solver name, instance sizes).
@@ -140,6 +159,7 @@ func (tr *Trace) Finish() {
 	tr.mu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	delete(t.live, tr.id)
 	t.ring = append(t.ring, tr)
 	if len(t.ring) > t.cap {
 		t.ring = t.ring[len(t.ring)-t.cap:]
@@ -153,14 +173,19 @@ type SpanJSON struct {
 	DurationMs float64 `json:"durationMs"`
 }
 
-// TraceJSON is one finished trace in the /debug/traces schema.
+// TraceJSON is one finished or in-flight trace in the /debug/traces
+// schema. Live (unfinished) traces report the elapsed time so far as
+// DurationMs; their still-open spans render with DurationMs 0 (there is
+// no end time yet).
 type TraceJSON struct {
-	ID         uint64            `json:"id"`
-	Name       string            `json:"name"`
-	Start      time.Time         `json:"start"`
-	DurationMs float64           `json:"durationMs"`
-	Attrs      map[string]string `json:"attrs,omitempty"`
-	Spans      []SpanJSON        `json:"spans"`
+	ID         uint64    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	// Live marks a trace whose solve is still running.
+	Live  bool              `json:"live,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Spans []SpanJSON        `json:"spans"`
 }
 
 // Snapshot returns the finished traces in the ring, oldest first.
@@ -173,30 +198,67 @@ func (t *Tracer) Snapshot() []TraceJSON {
 	t.mu.Unlock()
 	out := make([]TraceJSON, 0, len(ring))
 	for _, tr := range ring {
-		tr.mu.Lock()
-		tj := TraceJSON{
-			ID:         tr.id,
-			Name:       tr.name,
-			Start:      tr.start,
-			DurationMs: ms(tr.end.Sub(tr.start)),
-		}
-		if len(tr.attrs) > 0 {
-			tj.Attrs = make(map[string]string, len(tr.attrs))
-			for k, v := range tr.attrs {
-				tj.Attrs[k] = v
-			}
-		}
-		for _, s := range tr.spans {
-			tj.Spans = append(tj.Spans, SpanJSON{
-				Name:       s.name,
-				OffsetMs:   ms(s.start.Sub(tr.start)),
-				DurationMs: ms(s.end.Sub(s.start)),
-			})
-		}
-		tr.mu.Unlock()
-		out = append(out, tj)
+		out = append(out, tr.render(time.Time{}))
 	}
 	return out
+}
+
+// LiveSnapshot returns the traces still in flight, oldest first (by id).
+// Each is a point-in-time copy: the trace keeps running after the
+// snapshot.
+func (t *Tracer) LiveSnapshot() []TraceJSON {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	live := make([]*Trace, 0, len(t.live))
+	for _, tr := range t.live {
+		live = append(live, tr)
+	}
+	t.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	out := make([]TraceJSON, 0, len(live))
+	for _, tr := range live {
+		out = append(out, tr.render(now))
+	}
+	return out
+}
+
+// render copies the trace into the JSON schema. A nonzero now marks a
+// live rendering: the trace-level duration is the elapsed time at now,
+// and open spans keep a zero duration.
+func (tr *Trace) render(now time.Time) TraceJSON {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tj := TraceJSON{
+		ID:    tr.id,
+		Name:  tr.name,
+		Start: tr.start,
+	}
+	if !now.IsZero() && tr.end.IsZero() {
+		tj.Live = true
+		tj.DurationMs = ms(now.Sub(tr.start))
+	} else {
+		tj.DurationMs = ms(tr.end.Sub(tr.start))
+	}
+	if len(tr.attrs) > 0 {
+		tj.Attrs = make(map[string]string, len(tr.attrs))
+		for k, v := range tr.attrs {
+			tj.Attrs[k] = v
+		}
+	}
+	for _, s := range tr.spans {
+		sj := SpanJSON{
+			Name:     s.name,
+			OffsetMs: ms(s.start.Sub(tr.start)),
+		}
+		if !s.end.IsZero() {
+			sj.DurationMs = ms(s.end.Sub(s.start))
+		}
+		tj.Spans = append(tj.Spans, sj)
+	}
+	return tj
 }
 
 // ms converts a duration to fractional milliseconds.

@@ -87,6 +87,72 @@ func TestNilTracerSafe(t *testing.T) {
 	}
 }
 
+func TestLiveSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	a := tr.Start("solve")
+	a.SetAttr("solver", "greedy")
+	doneParse := a.Span("parse")
+	doneParse()
+	a.Span("solve") // deliberately left open
+
+	b := tr.Start("solve")
+
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Errorf("ids = %d, %d, want 1, 2", a.ID(), b.ID())
+	}
+	var nilTr *Trace
+	if nilTr.ID() != 0 {
+		t.Errorf("nil trace ID = %d", nilTr.ID())
+	}
+
+	time.Sleep(time.Millisecond)
+	live := tr.LiveSnapshot()
+	if len(live) != 2 {
+		t.Fatalf("live snapshot len = %d, want 2", len(live))
+	}
+	// Sorted oldest first by id.
+	if live[0].ID != 1 || live[1].ID != 2 {
+		t.Errorf("live ids = %d, %d, want 1, 2", live[0].ID, live[1].ID)
+	}
+	got := live[0]
+	if !got.Live {
+		t.Error("in-flight trace not marked live")
+	}
+	if got.DurationMs <= 0 {
+		t.Errorf("live trace DurationMs = %v, want elapsed > 0", got.DurationMs)
+	}
+	if got.Attrs["solver"] != "greedy" {
+		t.Errorf("live attrs = %v", got.Attrs)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("live spans = %+v", got.Spans)
+	}
+	if got.Spans[0].Name != "parse" || got.Spans[0].DurationMs < 0 {
+		t.Errorf("finished span = %+v", got.Spans[0])
+	}
+	// An open span has no end time yet: it renders with zero duration.
+	if got.Spans[1].Name != "solve" || got.Spans[1].DurationMs != 0 {
+		t.Errorf("open span = %+v, want DurationMs 0", got.Spans[1])
+	}
+
+	// Finishing moves the trace from the live set to the ring.
+	a.Finish()
+	if got := tr.LiveSnapshot(); len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("live after finish = %+v, want only id 2", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].ID != 1 || snap[0].Live {
+		t.Errorf("ring after finish = %+v, want finished id 1 with live=false", snap)
+	}
+	b.Finish()
+	if got := tr.LiveSnapshot(); len(got) != 0 {
+		t.Errorf("live after all finished = %+v", got)
+	}
+	if nilSnap := (*Tracer)(nil).LiveSnapshot(); nilSnap != nil {
+		t.Errorf("nil tracer live snapshot = %v", nilSnap)
+	}
+}
+
 // TestTracerConcurrent exercises concurrent Start/Span/Finish/Snapshot
 // under -race.
 func TestTracerConcurrent(t *testing.T) {
@@ -110,6 +176,7 @@ func TestTracerConcurrent(t *testing.T) {
 		defer wg.Done()
 		for j := 0; j < 100; j++ {
 			tr.Snapshot()
+			tr.LiveSnapshot()
 		}
 	}()
 	wg.Wait()
