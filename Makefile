@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint audit smoke chaos-smoke events-smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint lint-fix-check audit smoke chaos-smoke events-smoke clean
 
 all: build test
 
@@ -19,10 +19,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused -race pass over the concurrency-heavy packages (parallel
-# portfolio, concurrent greedy scoring, batch worker pool); -count=2
-# defeats the test cache so the schedule differs between runs.
+# portfolio, concurrent greedy scoring, batch worker pool, event bus,
+# tracer, admission engine and breakers); -count=2 defeats the test
+# cache so the schedule differs between runs.
 race-hot:
-	$(GO) test -race -count=2 ./internal/core/ ./internal/view/ ./internal/server/
+	$(GO) test -race -count=2 ./internal/core/ ./internal/view/ ./internal/server/ ./internal/telemetry/ ./internal/admission/
 
 cover:
 	$(GO) test -cover ./...
@@ -64,12 +65,26 @@ vet:
 	$(GO) vet ./...
 
 # Build and run the repo's own vet suite (tools/lint is a separate,
-# stdlib-only module), then test the analyzers themselves. The invariant
-# catalog is docs/STATIC_ANALYSIS.md.
+# stdlib-only module) over both modules — the lint module holds itself
+# to its own invariants — then test the analyzers themselves. The
+# invariant catalog is docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) -C tools/lint build -o bin/delproplint ./cmd/delproplint
 	$(GO) vet -vettool=tools/lint/bin/delproplint ./...
+	$(GO) -C tools/lint vet -vettool=$(CURDIR)/tools/lint/bin/delproplint ./...
 	$(GO) -C tools/lint test ./...
+
+# Assert the tree is lint-clean with no suppressions pending fixes: both
+# modules vet clean under delproplint, which includes the lintdirective
+# validation that every //delprop:guardedby names a sibling mutex field,
+# every //delprop:holds names a receiver mutex, and every
+# //delprop:nilsafe sits on a type declaration — a dangling directive
+# anywhere fails this target.
+lint-fix-check:
+	$(GO) -C tools/lint build -o bin/delproplint ./cmd/delproplint
+	$(GO) vet -vettool=tools/lint/bin/delproplint ./...
+	$(GO) -C tools/lint vet -vettool=$(CURDIR)/tools/lint/bin/delproplint ./...
+	@echo "lint-fix-check: both modules are delproplint-clean (directives validated)"
 
 # Static analysis + vulnerability scan. delproplint always runs (it
 # builds offline); staticcheck/govulncheck skip gracefully when not

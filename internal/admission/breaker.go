@@ -84,13 +84,13 @@ type breaker struct {
 //delprop:nilsafe
 type BreakerSet struct {
 	mu  sync.Mutex
-	cfg BreakerConfig
-	m   map[string]*breaker
-	// now is the clock, swappable in tests.
+	cfg BreakerConfig       // immutable after NewBreakerSet
+	m   map[string]*breaker //delprop:guardedby mu
+	// now is the clock, swappable in tests before traffic flows.
 	now func() time.Time
 	// onTransition observes state changes (metrics hook); called with the
 	// set's lock held, so it must not call back into the set.
-	onTransition func(solver string, to BreakerState)
+	onTransition func(solver string, to BreakerState) //delprop:guardedby mu
 }
 
 // NewBreakerSet returns an empty set under cfg.
@@ -109,6 +109,9 @@ func (s *BreakerSet) SetTransitionHook(fn func(solver string, to BreakerState)) 
 	s.onTransition = fn
 }
 
+// transition moves b and notifies the hook.
+//
+//delprop:holds mu
 func (s *BreakerSet) transition(name string, b *breaker, to BreakerState) {
 	b.state = to
 	if to == BreakerOpen {

@@ -2,6 +2,7 @@ package admission
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -184,5 +185,43 @@ func TestBreakerNilSet(t *testing.T) {
 	}
 	if s.Snapshot() != nil {
 		t.Error("nil set snapshot")
+	}
+}
+
+// TestBreakerTransitionHookUnderContention pins the //delprop:holds
+// contract on transition and the guardedby annotation on onTransition:
+// the hook swap and the transitions it observes all serialize on the
+// set's mutex, so a hook installed mid-flight never tears. -race
+// validates the discipline.
+func TestBreakerTransitionHookUnderContention(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Nanosecond})
+	var transitions atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.SetTransitionHook(func(solver string, to BreakerState) { transitions.Add(1) })
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if s.Allow("flaky") {
+					s.Record("flaky", OutcomeFailure)
+				}
+				s.State("flaky")
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.State("flaky") == BreakerClosed {
+		t.Error("breaker never tripped under the failure load")
+	}
+	if transitions.Load() == 0 {
+		t.Error("transition hook never observed a transition")
 	}
 }

@@ -13,9 +13,9 @@ import (
 // methods are safe for concurrent use.
 type Engine struct {
 	mu      sync.Mutex
-	policy  *Policy
-	tenants map[string]*tenantState
-	// now is the clock, swappable in tests.
+	policy  *Policy                 //delprop:guardedby mu
+	tenants map[string]*tenantState //delprop:guardedby mu
+	// now is the clock, swappable in tests before traffic flows.
 	now func() time.Time
 }
 
@@ -34,11 +34,18 @@ func NewEngine(p *Policy) *Engine {
 	if p == nil {
 		p = DefaultPolicy()
 	}
+	// Locking before publication costs nothing and keeps install's
+	// holds-contract uniform across both call sites.
+	e.mu.Lock()
 	e.install(p)
+	e.mu.Unlock()
 	return e
 }
 
-// install swaps the policy under e.mu (callers NewEngine/SetPolicy).
+// install swaps the policy; in-flight accounting survives for tenants
+// that keep their name.
+//
+//delprop:holds mu
 func (e *Engine) install(p *Policy) {
 	if p.TenantHeader == "" {
 		p.TenantHeader = DefaultTenantHeader

@@ -199,3 +199,37 @@ func TestEngineNilPolicyIsDefault(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineUsableTheInstantConstructed pins the delproplint lockguard
+// fix in NewEngine: install runs under e.mu at both call sites, so the
+// engine is safely shareable the moment the constructor returns, even
+// with policy reloads racing admissions. -race validates the discipline.
+func TestEngineUsableTheInstantConstructed(t *testing.T) {
+	e := NewEngine(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				e.SetPolicy(nil)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				name, pol, _ := e.Resolve("nobody")
+				if pol == nil {
+					t.Errorf("Resolve(%q) returned a nil policy", name)
+					return
+				}
+				d := e.Admit("nobody")
+				e.Charge("nobody")
+				e.Inflight("nobody")
+				d.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}

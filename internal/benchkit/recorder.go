@@ -12,8 +12,8 @@ import "sync"
 //delprop:nilsafe
 type Recorder struct {
 	mu      sync.Mutex
-	search  SearchCounters
-	quality []QualityRecord
+	search  SearchCounters  //delprop:guardedby mu
+	quality []QualityRecord //delprop:guardedby mu
 }
 
 // Quality appends one quality record.

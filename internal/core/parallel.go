@@ -50,8 +50,8 @@ type RaceSnapshot struct {
 //delprop:nilsafe
 type RaceInfo struct {
 	mu   sync.Mutex
-	ran  bool
-	snap RaceSnapshot
+	ran  bool         //delprop:guardedby mu
+	snap RaceSnapshot //delprop:guardedby mu
 }
 
 // record installs a finished race. Last race wins (a portfolio nested in

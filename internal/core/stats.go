@@ -32,19 +32,19 @@ type Stats struct {
 	restarts atomic.Int64
 
 	mu         sync.Mutex
-	incumbents []IncumbentEvent
+	incumbents []IncumbentEvent //delprop:guardedby mu
 
-	// Solution-quality accounting (guarded by mu): the achieved objective
-	// of the returned solution and the best proven lower bound on the
-	// optimum. Exact solvers report both (ratio 1); approximation solvers
-	// report whatever certificate they hold (primal-dual reports its
-	// feasible dual value); the server fills in core.DualBound when the
-	// solver reported none. The ratio objective/lowerBound is the observed
-	// approximation quality exported as delprop_solve_quality_ratio.
-	hasObjective bool
-	objective    float64
-	hasLower     bool
-	lowerBound   float64
+	// Solution-quality accounting: the achieved objective of the returned
+	// solution and the best proven lower bound on the optimum. Exact
+	// solvers report both (ratio 1); approximation solvers report whatever
+	// certificate they hold (primal-dual reports its feasible dual value);
+	// the server fills in core.DualBound when the solver reported none.
+	// The ratio objective/lowerBound is the observed approximation quality
+	// exported as delprop_solve_quality_ratio.
+	hasObjective bool    //delprop:guardedby mu
+	objective    float64 //delprop:guardedby mu
+	hasLower     bool    //delprop:guardedby mu
+	lowerBound   float64 //delprop:guardedby mu
 
 	// progress, when set, receives live ProgressEvents (incumbent
 	// installs, lower-bound improvements, race member lifecycle) as they

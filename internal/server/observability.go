@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"delprop/internal/admission"
@@ -67,14 +68,67 @@ const (
 // server accepts fall well inside the tail buckets.
 var qualityRatioBuckets = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10, 25, 100}
 
-// observeHTTP records one finished HTTP request.
+// observeHTTP records one finished HTTP request. Path and method arrive
+// straight off the wire, so both are normalized through the mounted
+// route table before they become label values: a client probing
+// /wp-admin ten thousand times must not mint ten thousand series.
 func (a *api) observeHTTP(method, path string, status int, dur time.Duration) {
+	route := routeLabel(path)
+	verb := methodLabel(method)
 	a.cfg.Metrics.Counter(metricHTTPRequests,
 		"HTTP requests served, by path, method and status.",
-		telemetry.Labels{"path": path, "method": method, "status": httpStatusLabel(status)}).Inc()
+		telemetry.Labels{"path": route, "method": verb, "status": httpStatusLabel(status)}).Inc()
 	a.cfg.Metrics.Histogram("delprop_http_request_duration_seconds",
 		"HTTP request latency in seconds, by path.",
-		nil, telemetry.Labels{"path": path}).Observe(dur.Seconds())
+		nil, telemetry.Labels{"path": route}).Observe(dur.Seconds())
+}
+
+// routeLabel collapses a request path into the bounded set of mounted
+// routes (mirroring Handler's mux table); anything else — typos, scans,
+// 404 probes — shares one "other" series.
+func routeLabel(path string) string {
+	switch path {
+	case "/solve":
+		return "/solve"
+	case "/solve/batch":
+		return "/solve/batch"
+	case "/classify":
+		return "/classify"
+	case "/lineage":
+		return "/lineage"
+	case "/resilience":
+		return "/resilience"
+	case "/healthz":
+		return "/healthz"
+	case "/metrics":
+		return "/metrics"
+	case "/debug/traces":
+		return "/debug/traces"
+	case "/debug/breakers":
+		return "/debug/breakers"
+	case "/events":
+		return "/events"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// methodLabel bounds the method label to the verbs the server routes;
+// arbitrary verbs in the request line collapse to "other".
+func methodLabel(method string) string {
+	switch method {
+	case http.MethodGet:
+		return http.MethodGet
+	case http.MethodPost:
+		return http.MethodPost
+	case http.MethodHead:
+		return http.MethodHead
+	case http.MethodOptions:
+		return http.MethodOptions
+	}
+	return "other"
 }
 
 // httpStatusLabel keeps status label cardinality bounded even if a handler

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -351,5 +352,64 @@ func TestMetricsUnderConcurrentSolves(t *testing.T) {
 	_, metrics := get(t, srv, "/metrics")
 	if want := `delprop_solve_duration_seconds_count{solver="brute-force"} 8`; !strings.Contains(metrics, want) {
 		t.Errorf("/metrics missing %q", want)
+	}
+}
+
+// TestHTTPMetricLabelCardinalityBounded pins the delproplint metriclabels
+// fix in observeHTTP: raw request paths and verbs must never mint metric
+// series. Unknown paths and exotic methods collapse to "other" no matter
+// how many distinct values a client probes with; concurrency makes the
+// race detector cover the registry hot path at the same time.
+func TestHTTPMetricLabelCardinalityBounded(t *testing.T) {
+	app := New()
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := srv.Client()
+			for j := 0; j < 16; j++ {
+				resp, err := client.Get(fmt.Sprintf("%s/probe-%d-%d", srv.URL, i, j))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				req, err := http.NewRequest("PROPFIND", srv.URL+"/healthz", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err = client.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	_, metrics := get(t, srv, "/metrics")
+	if strings.Contains(metrics, "probe-") {
+		t.Error("/metrics leaked a raw probe path as a label value")
+	}
+	if strings.Contains(metrics, "PROPFIND") {
+		t.Error("/metrics leaked a raw request verb as a label value")
+	}
+	if !strings.Contains(metrics, `path="other"`) {
+		t.Error(`/metrics has no path="other" series for the unknown routes`)
+	}
+	if !strings.Contains(metrics, `method="other"`) {
+		t.Error(`/metrics has no method="other" series for the unknown verb`)
+	}
+	if !strings.Contains(metrics, `path="/healthz"`) {
+		t.Error(`/metrics lost the known-route series for /healthz`)
 	}
 }

@@ -88,9 +88,9 @@ const DefaultSubscriberBuffer = 256
 //delprop:nilsafe
 type Bus struct {
 	mu     sync.Mutex
-	subs   map[*Subscription]struct{}
-	hooks  BusHooks
-	closed bool
+	subs   map[*Subscription]struct{} //delprop:guardedby mu
+	hooks  BusHooks                   //delprop:guardedby mu
+	closed bool                       //delprop:guardedby mu
 
 	seq       atomic.Uint64
 	published atomic.Int64
@@ -246,10 +246,11 @@ type Subscription struct {
 	bus    *Bus
 	filter Filter
 
-	mu      sync.Mutex
-	buf     []Event // pending events, oldest first
-	cap     int
-	dropped int64
+	mu sync.Mutex
+	// buf holds pending events, oldest first.
+	buf     []Event //delprop:guardedby mu
+	cap     int     // immutable after Subscribe
+	dropped int64   //delprop:guardedby mu
 
 	notify    chan struct{}
 	done      chan struct{}

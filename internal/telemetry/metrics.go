@@ -208,8 +208,8 @@ type family struct {
 //delprop:nilsafe
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
-	order    []string
+	families map[string]*family //delprop:guardedby mu
+	order    []string           //delprop:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

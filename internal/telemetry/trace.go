@@ -14,11 +14,12 @@ import (
 //
 //delprop:nilsafe
 type Tracer struct {
-	mu     sync.Mutex
-	cap    int
-	ring   []*Trace // most recent cap finished traces, oldest first
-	live   map[uint64]*Trace
-	nextID uint64
+	mu  sync.Mutex
+	cap int // immutable after NewTracer
+	// ring holds the most recent cap finished traces, oldest first.
+	ring   []*Trace          //delprop:guardedby mu
+	live   map[uint64]*Trace //delprop:guardedby mu
+	nextID uint64            //delprop:guardedby mu
 }
 
 // DefaultTraceBuffer is the ring capacity when NewTracer gets 0.
@@ -41,13 +42,15 @@ func NewTracer(capacity int) *Tracer {
 type Trace struct {
 	tracer *Tracer
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// id, name and start are set once at Start and never mutated, so
+	// lock-free reads (ID, the live-snapshot sort) are safe.
 	id    uint64
 	name  string
 	start time.Time
-	end   time.Time
-	attrs map[string]string
-	spans []span
+	end   time.Time         //delprop:guardedby mu
+	attrs map[string]string //delprop:guardedby mu
+	spans []span            //delprop:guardedby mu
 }
 
 type span struct {

@@ -35,6 +35,15 @@ var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 // exercise directives) against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	RunAnalyzers(t, dir, a)
+}
+
+// RunAnalyzers is Run for several analyzers at once: the fixture's want
+// comments must account for every diagnostic of every analyzer. Running
+// the full suite over one fixture pins the diagnostic positions across
+// loader and driver changes.
+func RunAnalyzers(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	pkgs, err := load.Patterns(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
@@ -82,9 +91,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 				}
 			}
 		}
-		fs, err := checker.Run(pkg, []*analysis.Analyzer{a})
+		fs, err := checker.Run(pkg, analyzers)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+			t.Fatalf("running analyzers on %s: %v", pkg.ImportPath, err)
 		}
 		findings = append(findings, fs...)
 	}

@@ -1,0 +1,163 @@
+// Package atomicmix forbids mixing atomic and plain access to a field.
+//
+// A field is an atomic field when it is declared with one of the typed
+// atomics (atomic.Int64, atomic.Uint32, atomic.Bool, atomic.Value,
+// atomic.Pointer[T], ...) or when some code in the package passes its
+// address to a sync/atomic function (atomic.AddInt64(&s.n, 1)). Once a
+// field is atomic, every access must be atomic: a plain read or write
+// anywhere in the package races with the atomic accesses — the exact bug
+// class behind the PR 5 Portfolio stats corruption, where st.Restart()
+// wrote counters plainly while member goroutines updated them
+// atomically.
+//
+// Concretely:
+//
+//   - a typed-atomic field may only appear as the receiver of one of its
+//     own methods (x.f.Load(), x.f.Store(v), ...) or behind & (passing a
+//     pointer keeps the access atomic at the far end);
+//   - a plain-typed field whose address reaches sync/atomic anywhere in
+//     the package may only appear as &x.f inside such a call — plain
+//     reads/writes and escaping aliases are reported.
+//
+// The analysis is intra-package, matching how the repo uses atomics: the
+// fields are unexported, so every access site is visible.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"delprop/tools/lint/analysis"
+)
+
+// Analyzer implements the atomicmix checks.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never also be accessed with plain reads/writes",
+	URL:  "docs/STATIC_ANALYSIS.md#atomicmix",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: find plain-typed fields whose address is taken inside a
+	// sync/atomic call anywhere in the package.
+	atomicFields := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addressedField(pass, arg); v != nil {
+					atomicFields[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report plain accesses. sanctioned marks selector nodes that
+	// appear in an atomic-access position.
+	for _, file := range pass.Files {
+		sanctioned := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isAtomicFuncCall(pass, n) {
+					for _, arg := range n.Args {
+						if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+							if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+								sanctioned[sel] = true
+							}
+						}
+					}
+					return true
+				}
+				// x.f.Load(...) — the typed-atomic field is the method
+				// receiver.
+				if fun, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+						if v := fieldVar(pass, sel); v != nil && isTypedAtomic(v.Type()) {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				// &x.f of a typed atomic: the pointer's user must go through
+				// the methods anyway.
+				if n.Op == token.AND {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						if v := fieldVar(pass, sel); v != nil && isTypedAtomic(v.Type()) {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				v := fieldVar(pass, n)
+				if v == nil || sanctioned[n] {
+					return true
+				}
+				switch {
+				case isTypedAtomic(v.Type()):
+					pass.ReportRangef(n, "atomic field %s must be accessed through its methods (Load/Store/Add/...), not by plain read/write or copy", v.Name())
+				case atomicFields[v]:
+					pass.ReportRangef(n, "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with those", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicFuncCall reports whether call invokes a function from the
+// sync/atomic package (atomic.AddInt64, atomic.LoadPointer, ...).
+func isAtomicFuncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// addressedField returns the struct-field object when arg is &x.f, else
+// nil.
+func addressedField(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldVar(pass, sel)
+}
+
+// fieldVar resolves sel to a struct-field object (nil for methods,
+// package selectors and locals).
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed atomics.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

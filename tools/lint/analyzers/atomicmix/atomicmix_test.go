@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), atomicmix.Analyzer)
+}

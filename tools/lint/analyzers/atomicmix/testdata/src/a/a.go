@@ -1,0 +1,57 @@
+// Package a exercises the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+type typed struct {
+	n     atomic.Int64
+	flag  atomic.Bool
+	ptr   atomic.Pointer[int]
+	plain int
+}
+
+func (t *typed) good() int64 {
+	t.flag.Store(true)
+	t.ptr.Store(nil)
+	return t.n.Add(1)
+}
+
+func (t *typed) goodAddress() *atomic.Int64 {
+	return &t.n // a *atomic.Int64 still forces atomic access at the far end
+}
+
+func (t *typed) badCopy() int64 {
+	n := t.n // want `atomic field n must be accessed through its methods`
+	return n.Load()
+}
+
+func (t *typed) badPlain() {
+	t.plain++ // plain fields without atomic use stay free
+}
+
+type legacy struct {
+	hits  int64
+	level int64
+}
+
+func (l *legacy) bump() {
+	atomic.AddInt64(&l.hits, 1)
+}
+
+func (l *legacy) read() int64 {
+	return atomic.LoadInt64(&l.hits)
+}
+
+func (l *legacy) mixed() int64 {
+	l.hits++      // want `field hits is accessed with sync/atomic elsewhere in this package`
+	return l.hits // want `field hits is accessed with sync/atomic elsewhere in this package`
+}
+
+func (l *legacy) escape() *int64 {
+	return &l.hits // want `field hits is accessed with sync/atomic elsewhere in this package`
+}
+
+func (l *legacy) untouched() int64 {
+	l.level = 3 // level never goes through sync/atomic: plain access is fine
+	return l.level
+}

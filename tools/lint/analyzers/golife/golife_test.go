@@ -1,0 +1,13 @@
+package golife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/golife"
+)
+
+func TestGoLife(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "daemon"), golife.Analyzer)
+}

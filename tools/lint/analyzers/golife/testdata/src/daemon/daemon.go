@@ -1,0 +1,99 @@
+// Package server exercises the golife analyzer inside a daemon-scoped
+// package (the fixture module path ends in delprop/internal/server).
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+func waitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func channelRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func resultSend(ch chan<- int) {
+	go func() {
+		ch <- work()
+	}()
+}
+
+func fireAndForget() {
+	go func() { // want `goroutine has no bounded lifetime`
+		for {
+			work()
+		}
+	}()
+}
+
+func sleeper() {
+	go func() { // want `goroutine has no bounded lifetime`
+		time.Sleep(time.Minute)
+		work()
+	}()
+}
+
+func namedWithCtx(ctx context.Context) {
+	go worker(ctx)
+}
+
+func namedLeak() {
+	go leak() // want `goroutine has no bounded lifetime`
+}
+
+func namedBoundedBody(jobs chan int) {
+	go drain(jobs)
+}
+
+type loop struct {
+	done chan struct{}
+}
+
+func (l *loop) run() {
+	<-l.done
+}
+
+func (l *loop) start() {
+	go l.run()
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func leak() {
+	for {
+		work()
+	}
+}
+
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func work() int { return 0 }

@@ -1,0 +1,11 @@
+// Package free sits outside the daemon package scope (its import path
+// does not end in one of the -packages suffixes), so fire-and-forget
+// goroutines are not golife's business here.
+package free
+
+func spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module delprop/internal/server
+
+go 1.22

@@ -1,0 +1,481 @@
+// Package lockguard enforces mutex-guard annotations on struct fields.
+//
+// The parallel solve engine keeps its shared mutable state behind named
+// mutexes (core.Stats incumbents, the telemetry.Bus subscriber registry,
+// the admission.Engine tenant table). The convention is declared on the
+// field:
+//
+//	type Bus struct {
+//		mu   sync.Mutex
+//		subs map[*Subscription]struct{} //delprop:guardedby mu
+//	}
+//
+// (the prose form `// guarded by mu` is accepted too). Every read or
+// write of an annotated field must then happen while the enclosing
+// value's named mutex is held in the same function: between
+// `x.mu.Lock()` (or RLock) and the matching Unlock, or after a
+// `defer x.mu.Unlock()`. Helpers that run with the lock already held by
+// their caller declare that contract explicitly:
+//
+//	//delprop:holds mu
+//	func (e *Engine) install(p *Policy) { … }
+//
+// and lockguard treats the receiver's mutex as held for the whole body.
+// The contract cuts both ways: calling a //delprop:holds method without
+// holding the receiver's mutex is itself reported, so a constructor that
+// skips the lock "because nobody can see the value yet" stays honest
+// when the helper later gains a second caller.
+//
+// The analysis is a per-function linear scan, not a whole-program
+// happens-before proof: branches are analyzed with a copy of the held
+// set (so an early `Unlock(); return` branch does not leak into the
+// fall-through path), function literals start from an empty held set
+// (they may run on any goroutine), and composite literals are exempt
+// (construction happens before the value is shared).
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"delprop/tools/lint/analysis"
+)
+
+// Analyzer implements the lockguard checks.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated //delprop:guardedby mu must only be accessed with the mutex held",
+	URL:  "docs/STATIC_ANALYSIS.md#lockguard",
+	Run:  run,
+}
+
+// Directive marks a field as guarded: //delprop:guardedby <mutex>.
+const Directive = "//delprop:guardedby"
+
+// HoldsDirective marks a function as running with the receiver's mutex
+// already held: //delprop:holds <mutex>.
+const HoldsDirective = "//delprop:holds"
+
+// guardInfo records the guard contract of one annotated field.
+type guardInfo struct {
+	owner  string // enclosing type name, for diagnostics
+	muName string // sibling mutex field name
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	holds := collectHolds(pass)
+	if len(guards) == 0 && len(holds) == 0 {
+		return nil, nil
+	}
+	c := &checkerState{pass: pass, guards: guards, holds: holds}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := make(map[string]bool)
+			if mu := holdsMutex(fd); mu != "" && fd.Recv != nil && len(fd.Recv.List) == 1 {
+				names := fd.Recv.List[0].Names
+				if len(names) == 1 && names[0].Name != "_" {
+					if obj := pass.TypesInfo.Defs[names[0]]; obj != nil {
+						held[objKey(obj)+"."+mu] = true
+					}
+				}
+			}
+			c.block(fd.Body.List, held)
+		}
+	}
+	return nil, nil
+}
+
+// GuardedMutex extracts the mutex name from a field's comment groups:
+// the //delprop:guardedby directive or the prose form `// guarded by mu`.
+// It returns "" when the field carries no guard annotation.
+func GuardedMutex(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix("//"+text, Directive+" "); ok {
+				if name := strings.TrimSpace(rest); isIdent(name) {
+					return name
+				}
+			}
+			if rest, ok := strings.CutPrefix(text, "guarded by "); ok {
+				name := strings.TrimSuffix(strings.TrimSpace(rest), ".")
+				if isIdent(name) {
+					return name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// holdsMutex extracts the mutex name from a //delprop:holds directive on
+// a function's doc comment ("" when absent).
+func holdsMutex(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, c := range fd.Doc.List {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), HoldsDirective+" "); ok {
+			if name := strings.TrimSpace(rest); isIdent(name) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func IsMutexType(t types.Type) bool {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectHolds maps //delprop:holds-annotated methods to the mutex their
+// callers must hold on the receiver.
+func collectHolds(pass *analysis.Pass) map[*types.Func]string {
+	holds := make(map[*types.Func]string)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			mu := holdsMutex(fd)
+			if mu == "" {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				holds[fn] = mu
+			}
+		}
+	}
+	return holds
+}
+
+// collectGuards maps annotated field objects to their guard contracts.
+// Annotations whose mutex does not resolve to a sibling sync.Mutex field
+// are skipped here; the lintdirective validation in the checker reports
+// them as dangling.
+func collectGuards(pass *analysis.Pass) map[*types.Var]*guardInfo {
+	guards := make(map[*types.Var]*guardInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectStructGuards(pass, ts.Name.Name, st, guards)
+			}
+		}
+	}
+	return guards
+}
+
+func collectStructGuards(pass *analysis.Pass, owner string, st *ast.StructType, guards map[*types.Var]*guardInfo) {
+	mutexes := make(map[string]bool)
+	for _, f := range st.Fields.List {
+		if t := pass.TypesInfo.TypeOf(f.Type); t != nil && IsMutexType(t) {
+			for _, name := range f.Names {
+				mutexes[name.Name] = true
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		mu := GuardedMutex(f.Doc, f.Comment)
+		if mu == "" || !mutexes[mu] {
+			continue
+		}
+		for _, name := range f.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				guards[v] = &guardInfo{owner: owner, muName: mu}
+			}
+		}
+	}
+}
+
+// checkerState walks function bodies tracking which (base, mutex) pairs
+// are held.
+type checkerState struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]*guardInfo
+	holds  map[*types.Func]string
+}
+
+// objKey returns a stable unique key for a resolved object.
+func objKey(obj types.Object) string { return fmt.Sprintf("%p", obj) }
+
+// exprKey renders a lockable base expression (chains of identifiers and
+// field selections) as a canonical key, or "" when the expression is not
+// trackable (call results, index expressions, ...).
+func (c *checkerState) exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.ObjectOf(e); obj != nil {
+			return objKey(obj)
+		}
+	case *ast.SelectorExpr:
+		if base := c.exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.StarExpr:
+		return c.exprKey(e.X)
+	}
+	return ""
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockCall classifies a call as a mutex Lock/RLock (opLock) or
+// Unlock/RUnlock (opUnlock) and returns the held-set key of its
+// receiver.
+func (c *checkerState) lockCall(e ast.Expr) (key string, op lockOp) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	rt := c.pass.TypesInfo.TypeOf(sel.X)
+	if rt == nil || !IsMutexType(rt) {
+		return "", opNone
+	}
+	key = c.exprKey(sel.X)
+	if key == "" {
+		return "", opNone
+	}
+	return key, op
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// block scans a statement list in order, mutating held as Lock/Unlock
+// calls are encountered.
+func (c *checkerState) block(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		c.stmt(st, held)
+	}
+}
+
+func (c *checkerState) stmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if key, op := c.lockCall(st.X); op != opNone {
+			if op == opLock {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		c.scan(st.X, held)
+	case *ast.DeferStmt:
+		if key, op := c.lockCall(st.Call); op != opNone {
+			if op == opLock {
+				held[key] = true // defer mu.Lock() is nonsense; treat as held to avoid cascades
+			}
+			// A deferred unlock keeps the mutex held for the rest of the
+			// function: do not remove it from the held set.
+			return
+		}
+		c.scan(st.Call, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		c.scan(st.Cond, held)
+		c.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			c.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.scan(st.Cond, held)
+		}
+		body := copyHeld(held)
+		c.block(st.Body.List, body)
+		if st.Post != nil {
+			c.stmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.scan(st.X, held)
+		c.block(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			c.scan(st.Tag, held)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.scan(e, held)
+				}
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		c.scan(st.Assign, held)
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, held)
+				}
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		c.block(st.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		c.scan(st.Call, held)
+	default:
+		if st != nil {
+			c.scan(st, held)
+		}
+	}
+}
+
+// scan inspects an expression or simple statement for guarded-field
+// accesses. Function literals restart from an empty held set: the
+// closure may run on another goroutine, after the enclosing function
+// released its locks.
+func (c *checkerState) scan(n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			c.block(x.Body.List, make(map[string]bool))
+			return false
+		case *ast.CallExpr:
+			c.checkHoldsCall(x, held)
+		case *ast.SelectorExpr:
+			c.checkAccess(x, held)
+		}
+		return true
+	})
+}
+
+// checkHoldsCall reports a call to a //delprop:holds-annotated method
+// made without the receiver's mutex held.
+func (c *checkerState) checkHoldsCall(call *ast.CallExpr, held map[string]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return
+	}
+	mu, ok := c.holds[fn]
+	if !ok {
+		return
+	}
+	base := c.exprKey(sel.X)
+	if base != "" && held[base+"."+mu] {
+		return
+	}
+	c.pass.ReportRangef(call, "%s is declared //delprop:holds %s: callers must hold the receiver's %s at the call", fn.Name(), mu, mu)
+}
+
+func (c *checkerState) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	s := c.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g := c.guards[v]
+	if g == nil {
+		return
+	}
+	base := c.exprKey(sel.X)
+	if base != "" && held[base+"."+g.muName] {
+		return
+	}
+	c.pass.ReportRangef(sel, "field %s.%s is guarded by %s and must only be accessed with it held", g.owner, v.Name(), g.muName)
+}

@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), lockguard.Analyzer)
+}

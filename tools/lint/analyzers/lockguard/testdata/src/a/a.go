@@ -1,0 +1,145 @@
+// Package a exercises the lockguard analyzer.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //delprop:guardedby mu
+	m  int // guarded by mu
+	ok int
+}
+
+func (c *counter) lockPair() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `field counter.n is guarded by mu`
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.m
+}
+
+func (c *counter) unguardedRead() int {
+	return c.n + c.m // want `field counter.n is guarded by mu` `field counter.m is guarded by mu`
+}
+
+func (c *counter) earlyReturn() {
+	c.mu.Lock()
+	if c.n > 10 {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // the early-return branch unlocked its own copy of the held set
+	c.mu.Unlock()
+}
+
+func (c *counter) branchLockDoesNotLeak(cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `field counter.n is guarded by mu`
+}
+
+//delprop:holds mu
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) callsHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+func (c *counter) callsHelperUnlocked() {
+	c.bumpLocked() // want `bumpLocked is declared //delprop:holds mu`
+}
+
+func (c *counter) callsHelperAfterUnlock() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.bumpLocked() // want `bumpLocked is declared //delprop:holds mu`
+}
+
+func (c *counter) closureFresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() {
+		c.n++ // want `field counter.n is guarded by mu`
+	}
+	f()
+}
+
+func (c *counter) closureLocksItself() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+func (c *counter) plainFieldFree() { c.ok++ }
+
+type rw struct {
+	mu sync.RWMutex
+	v  string //delprop:guardedby mu
+}
+
+func (r *rw) read() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (r *rw) upgrade() string {
+	r.mu.RLock()
+	v := r.v
+	r.mu.RUnlock()
+	if v != "" {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = "set"
+	return r.v
+}
+
+func (r *rw) unguarded() string {
+	return r.v // want `field rw.v is guarded by mu`
+}
+
+type owner struct {
+	c *counter
+}
+
+func crossObject(o *owner) {
+	o.c.mu.Lock()
+	o.c.n++
+	o.c.mu.Unlock()
+	o.c.n++ // want `field counter.n is guarded by mu`
+}
+
+func localAlias(o *owner) {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func construction() *counter {
+	return &counter{n: 1, m: 2} // composite literals are construction, not shared access
+}
+
+func rangeBody(cs []*counter) {
+	for _, c := range cs {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}

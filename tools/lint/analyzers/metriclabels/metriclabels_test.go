@@ -1,0 +1,13 @@
+package metriclabels_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+	"delprop/tools/lint/analyzers/metriclabels"
+)
+
+func TestMetricLabels(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "labels"), metriclabels.Analyzer)
+}

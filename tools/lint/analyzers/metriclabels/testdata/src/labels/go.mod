@@ -1,0 +1,3 @@
+module delprop
+
+go 1.22

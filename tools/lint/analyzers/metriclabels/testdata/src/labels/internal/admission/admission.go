@@ -1,0 +1,15 @@
+// Package admission is a stand-in for the repo's admission engine: the
+// metriclabels analyzer treats calls into internal/admission as bounded
+// (the engine resolves claims against the policy's known-tenant set).
+package admission
+
+// Engine resolves tenant claims against a fixed policy.
+type Engine struct{}
+
+// Resolve collapses an unknown claim into the default tenant.
+func (e *Engine) Resolve(claimed string) string {
+	if claimed == "gold" {
+		return "gold"
+	}
+	return "default"
+}

@@ -1,0 +1,124 @@
+// Package server exercises the metriclabels analyzer.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"delprop/internal/admission"
+	"delprop/internal/telemetry"
+)
+
+const metricRequests = "requests_total"
+
+func observe(reg *telemetry.Registry, r *http.Request, status int) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"path":   r.URL.Path, // want `label values must come from a bounded set`
+		"method": r.Method,   // want `label values must come from a bounded set`
+		"status": strconv.Itoa(status),
+	})
+}
+
+func observeTrimmed(reg *telemetry.Registry, r *http.Request) {
+	p := strings.TrimPrefix(r.URL.Path, "/")
+	reg.Count(metricRequests, telemetry.Labels{
+		"path": p, // want `label values must come from a bounded set`
+	})
+}
+
+// routeLabel is a sanitizer: whatever path comes in, only known route
+// names (or "other") come out, so the label set stays bounded.
+func routeLabel(path string) string {
+	switch path {
+	case "/solve":
+		return "solve"
+	case "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+func observeSanitized(reg *telemetry.Registry, r *http.Request) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"route": routeLabel(r.URL.Path),
+	})
+}
+
+type solveRequest struct {
+	Solver string `json:"solver"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+func observeDTO(reg *telemetry.Registry, req *solveRequest) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"solver": req.Solver, // want `label values must come from a bounded set`
+	})
+}
+
+func observeHeader(reg *telemetry.Registry, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	lbls := telemetry.Labels{}
+	lbls["tenant"] = tenant // want `label values must come from a bounded set`
+	reg.Count(metricRequests, lbls)
+}
+
+// record's tenant parameter is tainted interprocedurally: handler passes
+// a raw header through it.
+func record(reg *telemetry.Registry, tenant string) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"tenant": tenant, // want `label values must come from a bounded set`
+	})
+}
+
+func handler(reg *telemetry.Registry, r *http.Request) {
+	record(reg, r.Header.Get("X-Tenant"))
+}
+
+func observeConst(reg *telemetry.Registry) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"phase":  "parse",
+		"metric": metricRequests,
+	})
+}
+
+type batchResponse struct {
+	Partial bool   `json:"partial"`
+	Items   int    `json:"items"`
+	Trace   string `json:"trace"`
+}
+
+// Booleans and ints decoded from a request carry bounded (or
+// non-string) values; only the string field taints.
+func observeBatch(reg *telemetry.Registry, resp batchResponse) {
+	reg.Count(metricRequests, telemetry.Labels{
+		"partial": strconv.FormatBool(resp.Partial),
+		"items":   strconv.Itoa(resp.Items),
+		"trace":   resp.Trace, // want `label values must come from a bounded set`
+	})
+}
+
+// The admission engine's Resolve collapses unknown claims into the
+// policy's known-tenant mapping, so its result is bounded even though a
+// raw header goes in.
+func observeAdmitted(reg *telemetry.Registry, eng *admission.Engine, r *http.Request) {
+	tenant := eng.Resolve(r.Header.Get("X-Tenant"))
+	reg.Count(metricRequests, telemetry.Labels{
+		"tenant": tenant,
+	})
+}
+
+// A context threaded from the request is plumbing, not a label string:
+// values derived from it stay clean.
+func observeFromContext(reg *telemetry.Registry, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	reg.Count(metricRequests, telemetry.Labels{
+		"deadline": strconv.FormatBool(deadlineSet(r)),
+	})
+}
+
+func deadlineSet(r *http.Request) bool {
+	_, ok := r.Context().Deadline()
+	return ok
+}

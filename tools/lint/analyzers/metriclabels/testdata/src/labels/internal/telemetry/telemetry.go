@@ -1,0 +1,13 @@
+// Package telemetry is a fixture stand-in for the repo's metrics
+// registry: metriclabels recognizes the Labels type by name and package
+// path suffix, so the fixture only needs the type and a sink.
+package telemetry
+
+// Labels identifies one series within a metric family.
+type Labels map[string]string
+
+// Registry is a minimal metrics sink.
+type Registry struct{}
+
+// Count records one observation against the labeled series.
+func (r *Registry) Count(name string, labels Labels) {}

@@ -13,18 +13,31 @@ package main
 
 import (
 	"delprop/tools/lint/analysis"
+	"delprop/tools/lint/analyzers/atomicmix"
 	"delprop/tools/lint/analyzers/ctxrules"
+	"delprop/tools/lint/analyzers/golife"
+	"delprop/tools/lint/analyzers/lockguard"
 	"delprop/tools/lint/analyzers/mapdet"
+	"delprop/tools/lint/analyzers/metriclabels"
 	"delprop/tools/lint/analyzers/nilsafe"
 	"delprop/tools/lint/analyzers/solveloop"
 	"delprop/tools/lint/internal/checker"
 )
 
-func main() {
-	checker.Main([]*analysis.Analyzer{
+// Suite is the full analyzer set, in the order diagnostics list them.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxrules.Analyzer,
+		golife.Analyzer,
+		lockguard.Analyzer,
 		mapdet.Analyzer,
+		metriclabels.Analyzer,
 		nilsafe.Analyzer,
 		solveloop.Analyzer,
-	}...)
+	}
+}
+
+func main() {
+	checker.Main(Suite()...)
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delprop/tools/lint/analysistest"
+)
+
+// TestSuiteCrossFixture runs every registered analyzer over one fixture
+// file that violates each of them, catching diagnostic-position
+// regressions when the loader or driver changes.
+func TestSuiteCrossFixture(t *testing.T) {
+	analysistest.RunAnalyzers(t, filepath.Join("testdata", "src", "cross"), Suite()...)
+}

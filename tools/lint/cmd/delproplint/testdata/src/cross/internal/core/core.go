@@ -1,0 +1,78 @@
+// Package core is the cross-analyzer fixture: one file violating every
+// analyzer in the suite, pinning diagnostic positions across loader and
+// driver changes. The module path puts it in solveloop's entry scope and
+// golife's daemon scope.
+package core
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"delprop/internal/telemetry"
+)
+
+type counters struct {
+	hits atomic.Int64
+}
+
+func (c *counters) mixed() int64 {
+	n := c.hits // want `atomic field hits must be accessed through its methods`
+	return n.Load()
+}
+
+func Misordered(n int, ctx context.Context) {} // want `context.Context must be the first parameter`
+
+func spawn() {
+	go func() { // want `goroutine has no bounded lifetime`
+		for {
+		}
+	}()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int //delprop:guardedby mu
+}
+
+func (g *guarded) unlocked() int {
+	return g.n // want `field guarded.n is guarded by mu`
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended to in map iteration order`
+	}
+	return out
+}
+
+func observe(reg *telemetry.Registry, r *http.Request) {
+	reg.Count("requests", telemetry.Labels{
+		"path": r.URL.Path, // want `label values must come from a bounded set`
+	})
+}
+
+// Recorder promises nil-safety but Bump dereferences unguarded.
+//
+//delprop:nilsafe
+type Recorder struct {
+	n int
+}
+
+// Bump increments without the contract's nil guard.
+func (r *Recorder) Bump() { // want `method Recorder.Bump dereferences its receiver outside a nil guard`
+	r.n++
+}
+
+// Solve is a solveloop root: the search loop below never polls ctx.
+func Solve(ctx context.Context, n int) int {
+	total := 0
+	for { // want `no cancellation checkpoint`
+		total++
+		if total > n {
+			return total
+		}
+	}
+}

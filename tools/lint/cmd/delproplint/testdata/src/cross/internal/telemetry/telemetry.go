@@ -1,0 +1,13 @@
+// Package telemetry is a diagnostic-free stand-in for the repo's
+// metrics registry, here so the cross-analyzer fixture can exercise
+// metriclabels (which recognizes Labels by name and path suffix).
+package telemetry
+
+// Labels identifies one series within a metric family.
+type Labels map[string]string
+
+// Registry is a minimal metrics sink.
+type Registry struct{}
+
+// Count records one observation against the labeled series.
+func (r *Registry) Count(name string, labels Labels) {}

@@ -6,6 +6,7 @@ package checker
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -32,18 +33,48 @@ func (f Finding) String() string {
 // Run applies each analyzer to pkg and returns the surviving findings,
 // ordered by position. Diagnostics on lines governed by a matching
 // //lint:ignore directive are dropped; directives without a
-// justification are themselves reported.
+// justification — and dangling //delprop: directives — are themselves
+// reported. All of the package's files are analyzed, including any under
+// a testdata directory (the analysistest harness depends on that).
 func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	ignores, bad := collectIgnores(pkg)
+	return run(pkg, pkg.Files, analyzers)
+}
+
+// RunScoped is Run for driver use: files under a testdata directory are
+// excluded up front. Fixture files are analyzer inputs, not code — when
+// the suite lints its own module (or a caller points a pattern inside a
+// fixture tree), their deliberate violations must not surface as real
+// findings.
+func RunScoped(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files := pkg.Files[:0:0]
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if isTestdataPath(name) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return run(pkg, files, analyzers)
+}
+
+// isTestdataPath reports whether a file path has a testdata path element.
+func isTestdataPath(name string) bool {
+	name = strings.ReplaceAll(name, "\\", "/")
+	return strings.Contains(name, "/testdata/") || strings.HasPrefix(name, "testdata/")
+}
+
+func run(pkg *load.Package, files []*ast.File, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ignores, bad := collectIgnores(pkg, files)
 
 	var findings []Finding
 	findings = append(findings, bad...)
+	findings = append(findings, validateDirectives(pkg, files)...)
 	for _, a := range analyzers {
 		a := a
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
-			Files:     pkg.Files,
+			Files:     files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 		}
@@ -113,10 +144,10 @@ var badDirectiveAnalyzer = &analysis.Analyzer{
 	URL:  "docs/STATIC_ANALYSIS.md#suppressing-findings",
 }
 
-func collectIgnores(pkg *load.Package) (ignoreSet, []Finding) {
+func collectIgnores(pkg *load.Package, files []*ast.File) (ignoreSet, []Finding) {
 	var set ignoreSet
 	var bad []Finding
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")

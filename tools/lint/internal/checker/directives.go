@@ -1,0 +1,201 @@
+package checker
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"delprop/tools/lint/analyzers/lockguard"
+	"delprop/tools/lint/internal/load"
+)
+
+// validateDirectives checks every //delprop: directive comment in the
+// package: the verb must be known, and the directive must be attached to
+// a declaration that gives it meaning — //delprop:nilsafe to a type,
+// //delprop:guardedby to a struct field with a sibling mutex of that
+// name, //delprop:holds to a method whose receiver has that mutex. A
+// dangling directive is worse than none: it documents a contract nothing
+// enforces, so it is reported under the lintdirective analyzer (the same
+// one that polices //lint:ignore justifications).
+func validateDirectives(pkg *load.Package, files []*ast.File) []Finding {
+	var bad []Finding
+	for _, f := range files {
+		v := &directiveValidator{pkg: pkg, problems: make(map[*ast.Comment]string)}
+		v.collect(f)
+		if len(v.all) == 0 {
+			continue
+		}
+		v.walk(f)
+		for _, c := range v.all {
+			msg, ok := v.problems[c]
+			if !ok {
+				continue
+			}
+			bad = append(bad, Finding{
+				Analyzer: badDirectiveAnalyzer,
+				Pos:      pkg.Fset.Position(c.Pos()),
+				Message:  msg,
+			})
+		}
+	}
+	return bad
+}
+
+type directiveValidator struct {
+	pkg *load.Package
+	all []*ast.Comment
+	// problems maps a directive comment to its diagnostic; validation
+	// removes entries as structural walks legitimize them.
+	problems map[*ast.Comment]string
+}
+
+// parseDirective splits a //delprop: comment into verb and argument.
+func parseDirective(c *ast.Comment) (verb, arg string, ok bool) {
+	text := strings.TrimSpace(c.Text)
+	rest, found := strings.CutPrefix(text, "//delprop:")
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	verb = fields[0]
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	return verb, arg, true
+}
+
+// collect gathers the file's //delprop: comments, seeding each with its
+// dangling-by-default diagnostic; walk clears the ones that attach to a
+// real declaration.
+func (v *directiveValidator) collect(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			verb, arg, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			v.all = append(v.all, c)
+			switch verb {
+			case "nilsafe":
+				v.problems[c] = "dangling //delprop:nilsafe directive: it must annotate a type declaration"
+			case "guardedby":
+				if arg == "" {
+					v.problems[c] = "malformed //delprop:guardedby directive: need a mutex field name"
+				} else {
+					v.problems[c] = "dangling //delprop:guardedby directive: it must annotate a struct field with a sibling sync.Mutex/RWMutex named " + arg
+				}
+			case "holds":
+				if arg == "" {
+					v.problems[c] = "malformed //delprop:holds directive: need a mutex field name"
+				} else {
+					v.problems[c] = "dangling //delprop:holds directive: it must annotate a method whose receiver has a sync.Mutex/RWMutex field named " + arg
+				}
+			default:
+				v.problems[c] = "unknown //delprop:" + verb + " directive"
+			}
+		}
+	}
+}
+
+// clear marks the directives of the given verb within a comment group as
+// validly attached.
+func (v *directiveValidator) clear(cg *ast.CommentGroup, verb string, argOK func(string) bool) {
+	if cg == nil {
+		return
+	}
+	for _, c := range cg.List {
+		cv, arg, ok := parseDirective(c)
+		if !ok || cv != verb {
+			continue
+		}
+		if arg == "" || argOK == nil || !argOK(arg) {
+			continue // keep the seeded diagnostic
+		}
+		delete(v.problems, c)
+	}
+}
+
+// clearNoArg validates argument-less directives of the given verb.
+func (v *directiveValidator) clearNoArg(cg *ast.CommentGroup, verb string) {
+	if cg == nil {
+		return
+	}
+	for _, c := range cg.List {
+		cv, _, ok := parseDirective(c)
+		if ok && cv == verb {
+			delete(v.problems, c)
+		}
+	}
+}
+
+func (v *directiveValidator) walk(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			hasType := false
+			for _, spec := range n.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				hasType = true
+				v.clearNoArg(ts.Doc, "nilsafe")
+				v.clearNoArg(ts.Comment, "nilsafe")
+			}
+			if hasType {
+				v.clearNoArg(n.Doc, "nilsafe")
+			}
+		case *ast.StructType:
+			v.structFields(n)
+		case *ast.FuncDecl:
+			v.clear(n.Doc, "holds", func(arg string) bool {
+				return n.Recv != nil && len(n.Recv.List) == 1 &&
+					hasMutexField(v.pkg.Info.TypeOf(n.Recv.List[0].Type), arg)
+			})
+		}
+		return true
+	})
+}
+
+// structFields validates guardedby directives against the struct's own
+// mutex fields.
+func (v *directiveValidator) structFields(st *ast.StructType) {
+	mutexes := make(map[string]bool)
+	for _, f := range st.Fields.List {
+		if t := v.pkg.Info.TypeOf(f.Type); t != nil && lockguard.IsMutexType(t) {
+			for _, name := range f.Names {
+				mutexes[name.Name] = true
+			}
+		}
+	}
+	argOK := func(arg string) bool { return mutexes[arg] }
+	for _, f := range st.Fields.List {
+		v.clear(f.Doc, "guardedby", argOK)
+		v.clear(f.Comment, "guardedby", argOK)
+	}
+}
+
+// hasMutexField reports whether the (possibly pointer) receiver type is
+// a struct with a mutex field of the given name.
+func hasMutexField(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && lockguard.IsMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package checker
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delprop/tools/lint/analysis"
+	"delprop/tools/lint/internal/load"
+)
+
+func directiveMessages(t *testing.T, src string) []string {
+	t.Helper()
+	pkg := loadFixture(t, src)
+	findings, err := Run(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		if f.Analyzer.Name != "lintdirective" {
+			t.Fatalf("unexpected analyzer %s for finding %v", f.Analyzer.Name, f)
+		}
+		msgs = append(msgs, f.Message)
+	}
+	return msgs
+}
+
+func TestValidDirectivesAreSilent(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+import "sync"
+
+//delprop:nilsafe
+type Stats struct {
+	mu sync.Mutex
+	n  int //delprop:guardedby mu
+}
+
+//delprop:holds mu
+func (s *Stats) bumpLocked() {}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("valid directives should produce no findings, got %v", msgs)
+	}
+}
+
+func TestDanglingGuardedByDirective(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+import "sync"
+
+type Stats struct {
+	mu sync.Mutex
+	n  int //delprop:guardedby mux
+	m  int //delprop:guardedby
+}
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "named mux") || !strings.Contains(msgs[0], "dangling") {
+		t.Errorf("first message should flag the dangling mutex name: %q", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "need a mutex field name") {
+		t.Errorf("second message should flag the missing argument: %q", msgs[1])
+	}
+}
+
+func TestGuardedByOutsideStructIsDangling(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+//delprop:guardedby mu
+func f() {}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "dangling //delprop:guardedby") {
+		t.Fatalf("got %v, want one dangling guardedby finding", msgs)
+	}
+}
+
+func TestDanglingNilsafeDirective(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+//delprop:nilsafe
+func f() {}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "must annotate a type declaration") {
+		t.Fatalf("got %v, want one dangling nilsafe finding", msgs)
+	}
+}
+
+func TestDanglingHoldsDirective(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+import "sync"
+
+type Stats struct {
+	mu sync.Mutex
+}
+
+//delprop:holds mux
+func (s *Stats) wrongName() {}
+
+//delprop:holds mu
+func notAMethod() {}
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(msgs), msgs)
+	}
+	for _, m := range msgs {
+		if !strings.Contains(m, "dangling //delprop:holds") {
+			t.Errorf("message should flag a dangling holds directive: %q", m)
+		}
+	}
+}
+
+func TestUnknownDelpropDirective(t *testing.T) {
+	msgs := directiveMessages(t, `package fixture
+
+//delprop:frobnicate
+func f() {}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "unknown //delprop:frobnicate") {
+		t.Fatalf("got %v, want one unknown-directive finding", msgs)
+	}
+}
+
+// TestRunScopedSkipsTestdataFiles pins the driver-mode fixture scoping:
+// a file under testdata/ is analyzer input, not code, so its deliberate
+// violations and directives must not surface as real findings when a
+// driver invocation reaches one (a pattern naming a fixture directory
+// explicitly bypasses the go tool's own testdata exclusion).
+func TestRunScopedSkipsTestdataFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "testdata")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fixture := `package bad
+
+//delprop:nilsafe
+func dangling() {
+	for {
+		break
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(sub, "bad.go"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Patterns(dir, []string{"./testdata"})
+	if err != nil {
+		t.Fatalf("loading testdata package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	scoped, err := RunScoped(pkgs[0], []*analysis.Analyzer{demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped) != 0 {
+		t.Errorf("RunScoped should skip testdata files entirely, got %v", scoped)
+	}
+	full, err := Run(pkgs[0], []*analysis.Analyzer{demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Error("Run (analysistest mode) should still analyze testdata files")
+	}
+}

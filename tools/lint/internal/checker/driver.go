@@ -120,7 +120,7 @@ func vetMode(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 		}
 		return 1
 	}
-	findings, err := Run(pkg, analyzers)
+	findings, err := RunScoped(pkg, analyzers)
 	if err != nil {
 		log.Print(err)
 		return 1
@@ -144,7 +144,7 @@ func patternsMode(patterns []string, analyzers []*analysis.Analyzer, jsonOut boo
 		if len(pkg.TypeErrors) > 0 {
 			return 1
 		}
-		fs, err := Run(pkg, analyzers)
+		fs, err := RunScoped(pkg, analyzers)
 		if err != nil {
 			log.Print(err)
 			return 1
