@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint lint-fix-check audit smoke chaos-smoke events-smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint lint-fix-check audit smoke chaos-smoke events-smoke series-smoke clean
 
 all: build test
 
@@ -120,6 +120,16 @@ chaos-smoke:
 # "Live event stream").
 events-smoke:
 	./scripts/events_smoke.sh
+
+# End-to-end observability-chain check: boots delpropd with chaos
+# solvers, a fast sampler tick and an SLO config bounding failed solves
+# at zero, drives injected panics, and asserts the slo_breach event on
+# GET /events, the windowed regression on GET /debug/series, the breach
+# counter on /metrics, the correlated postmortem bundle on GET
+# /debug/postmortems/{id}, and one delprop top frame
+# (docs/OBSERVABILITY.md "Rolling time-series store").
+series-smoke:
+	./scripts/series_smoke.sh
 
 clean:
 	$(GO) clean -testcache

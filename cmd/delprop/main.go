@@ -33,6 +33,13 @@
 // -json:
 //
 //	delprop tail -addr http://127.0.0.1:8080 [-tenant t] [-solver s] [-type a,b] [-json] [-n count]
+//
+// delprop top renders a live terminal dashboard over the daemon's rolling
+// time-series (GET /debug/series): solve throughput and latency
+// quantiles, a per-solver table with breaker states, SLO rule standings
+// and the newest postmortem bundles, refreshed in place every -interval:
+//
+//	delprop top -addr http://127.0.0.1:8080 [-interval 2s] [-window 1m] [-n frames] [-plain]
 package main
 
 import (
@@ -57,6 +64,9 @@ func main() {
 	// flag set; everything else falls through to the classic solve CLI.
 	if len(os.Args) > 1 && os.Args[1] == "tail" {
 		os.Exit(runTail(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		os.Exit(runTop(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	dbPath := flag.String("db", "", "database file (textio format)")
 	qPath := flag.String("queries", "", "datalog query program")

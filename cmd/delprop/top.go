@@ -1,0 +1,314 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"delprop/internal/server"
+	"delprop/internal/telemetry"
+)
+
+// runTop implements the "delprop top" subcommand: a live terminal
+// dashboard over a delpropd daemon's rolling time-series (GET
+// /debug/series), breaker states, SLO standings and recent postmortems —
+// the htop view of a solving fleet. Each frame repaints in place
+// (ANSI clear) unless -plain is set; -n bounds the frame count for
+// scripting and tests.
+func runTop(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("delprop top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "delpropd base URL (the public or ops listener)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period between frames")
+	window := fs.Duration("window", time.Minute, "rolling window the dashboard reads (must fit the daemon's -series-window)")
+	frames := fs.Int("n", 0, "exit after this many frames (0 = refresh until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of repainting (no ANSI escapes; for logs and tests)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: delprop top [-addr url] [-interval d] [-window d] [-n frames] [-plain]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base, err := url.Parse(*addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "delprop top: addr:", err)
+		return 1
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; *frames <= 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		frame, err := renderTopFrame(client, base, *window)
+		if err != nil {
+			fmt.Fprintln(stderr, "delprop top:", err)
+			return 1
+		}
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(stdout, frame)
+	}
+	return 0
+}
+
+// topGet fetches one JSON endpoint relative to base.
+func topGet(client *http.Client, base *url.URL, path, rawQuery string, v any) error {
+	u := *base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", u.String(), resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// findSeries returns the first series of the family whose labels contain
+// want (nil matches the unlabeled series exactly).
+func findSeries(set *telemetry.SeriesSetJSON, name string, want map[string]string) *telemetry.SeriesJSON {
+	for i := range set.Series {
+		s := &set.Series[i]
+		if s.Name != name {
+			continue
+		}
+		if want == nil && len(s.Labels) > 0 {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// windowAgg returns the series' aggregate for the named window.
+func windowAgg(s *telemetry.SeriesJSON, w string) (telemetry.WindowAggJSON, bool) {
+	if s == nil {
+		return telemetry.WindowAggJSON{}, false
+	}
+	agg, ok := s.Windows[w]
+	return agg, ok
+}
+
+func fv(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// fmtSecs renders a latency in adaptive units (µs/ms/s).
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// fmtBytes renders a byte count in adaptive binary units.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// renderTopFrame assembles one dashboard frame from the daemon's debug
+// endpoints.
+func renderTopFrame(client *http.Client, base *url.URL, window time.Duration) (string, error) {
+	var set telemetry.SeriesSetJSON
+	if err := topGet(client, base, "/debug/series", "window="+url.QueryEscape(window.String()), &set); err != nil {
+		return "", err
+	}
+	wname := set.Windows[len(set.Windows)-1]
+	var breakers server.BreakersResponse
+	if err := topGet(client, base, "/debug/breakers", "", &breakers); err != nil {
+		return "", err
+	}
+	var slo server.SLOResponse
+	if err := topGet(client, base, "/debug/slo", "", &slo); err != nil {
+		return "", err
+	}
+	var pms server.PostmortemsResponse
+	if err := topGet(client, base, "/debug/postmortems", "", &pms); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "delprop top — %s — window %s — ticks %d — %s\n",
+		base.String(), wname, set.Ticks, time.Now().Format("15:04:05"))
+
+	// Process line: uptime, goroutines, heap, in-flight.
+	uptime, _ := windowAgg(findSeries(&set, "delprop_process_uptime_seconds", nil), wname)
+	goroutines, _ := windowAgg(findSeries(&set, "delprop_goroutines", nil), wname)
+	heap, _ := windowAgg(findSeries(&set, "delprop_heap_inuse_bytes", nil), wname)
+	inflight, _ := windowAgg(findSeries(&set, "delprop_http_in_flight_requests", nil), wname)
+	fmt.Fprintf(&b, "uptime %s   goroutines %.0f   heap %s   in-flight %.0f\n",
+		(time.Duration(fv(uptime.Last)) * time.Second).String(),
+		fv(goroutines.Last), fmtBytes(fv(heap.Last)), fv(inflight.Last))
+
+	// Aggregate solve line: QPS and latency quantiles from the unlabeled
+	// admission latency histogram, error ratio from the outcome counters.
+	lat, _ := windowAgg(findSeries(&set, "delprop_admission_solve_latency_seconds", nil), wname)
+	var solvesTotal, solvesBad float64
+	for i := range set.Series {
+		s := &set.Series[i]
+		if s.Name != "delprop_solves_total" {
+			continue
+		}
+		agg, ok := s.Windows[wname]
+		if !ok {
+			continue
+		}
+		solvesTotal += fv(agg.Delta)
+		switch s.Labels["outcome"] {
+		case "error", "timeout", "panic", "unstoppable":
+			solvesBad += fv(agg.Delta)
+		}
+	}
+	errPct := 0.0
+	if solvesTotal > 0 {
+		errPct = 100 * solvesBad / solvesTotal
+	}
+	published, _ := windowAgg(findSeries(&set, "delprop_events_published_total", nil), wname)
+	droppedEv, _ := windowAgg(findSeries(&set, "delprop_events_dropped_total", nil), wname)
+	dropPct := 0.0
+	if fv(published.Delta) > 0 {
+		dropPct = 100 * fv(droppedEv.Delta) / fv(published.Delta)
+	}
+	fmt.Fprintf(&b, "solves %.2f/s   p50 %s   p95 %s   p99 %s   err %.1f%%   event-drop %.1f%%\n\n",
+		fv(lat.Rate), fmtSecs(fv(lat.P50)), fmtSecs(fv(lat.P95)), fmtSecs(fv(lat.P99)), errPct, dropPct)
+
+	// Per-solver table from the solver-labeled latency histograms.
+	type solverRow struct {
+		name           string
+		rate, p95, p99 float64
+		total, bad     float64
+	}
+	rows := map[string]*solverRow{}
+	for i := range set.Series {
+		s := &set.Series[i]
+		solver := s.Labels["solver"]
+		if solver == "" {
+			continue
+		}
+		agg, ok := s.Windows[wname]
+		if !ok {
+			continue
+		}
+		row := rows[solver]
+		if row == nil {
+			row = &solverRow{name: solver}
+			rows[solver] = row
+		}
+		switch s.Name {
+		case "delprop_solve_duration_seconds":
+			row.rate, row.p95, row.p99 = fv(agg.Rate), fv(agg.P95), fv(agg.P99)
+		case "delprop_solves_total":
+			row.total += fv(agg.Delta)
+			switch s.Labels["outcome"] {
+			case "error", "timeout", "panic", "unstoppable":
+				row.bad += fv(agg.Delta)
+			}
+		}
+	}
+	if len(rows) > 0 {
+		names := make([]string, 0, len(rows))
+		for n := range rows {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-22s %8s %10s %10s %7s %8s\n", "SOLVER", "RATE/S", "P95", "P99", "ERR%", "BREAKER")
+		for _, n := range names {
+			r := rows[n]
+			ep := 0.0
+			if r.total > 0 {
+				ep = 100 * r.bad / r.total
+			}
+			state := "closed"
+			for _, br := range breakers.Breakers {
+				if br.Solver == n {
+					state = br.State
+				}
+			}
+			fmt.Fprintf(&b, "%-22s %8.2f %10s %10s %7.1f %8s\n",
+				n, r.rate, fmtSecs(r.p95), fmtSecs(r.p99), ep, state)
+		}
+		b.WriteString("\n")
+	}
+
+	// SLO standings: every evaluated rule target, breached first.
+	if len(slo.Rules) > 0 {
+		fmt.Fprintf(&b, "%-28s %-12s %8s %10s  %s\n", "SLO RULE", "TARGET", "WINDOW", "VALUE", "STATE")
+		st := append([]telemetry.SLOStatus(nil), slo.Rules...)
+		sort.SliceStable(st, func(i, j int) bool { return st[i].Breached && !st[j].Breached })
+		for _, r := range st {
+			state := "ok"
+			if r.Breached {
+				state = "BREACH"
+			} else if !r.Evaluated {
+				state = "no-data"
+			}
+			fmt.Fprintf(&b, "%-28s %-12s %8s %10.4f  %s\n", r.Rule, r.Target, r.Window, r.Value, state)
+		}
+		b.WriteString("\n")
+	}
+
+	// Recent postmortems, newest first (the listing is already sorted).
+	if len(pms.Postmortems) > 0 {
+		fmt.Fprintln(&b, "RECENT POSTMORTEMS")
+		limit := len(pms.Postmortems)
+		if limit > 5 {
+			limit = 5
+		}
+		for _, pm := range pms.Postmortems[:limit] {
+			line := fmt.Sprintf("  %-8s %-12s %s", pm.ID, pm.Kind, pm.At.Format("15:04:05"))
+			if pm.Rule != "" {
+				line += " rule=" + pm.Rule
+			}
+			if pm.RequestID != "" {
+				line += " req=" + pm.RequestID
+			}
+			if pm.Solver != "" {
+				line += " solver=" + pm.Solver
+			}
+			if pm.Outcome != "" {
+				line += " outcome=" + pm.Outcome
+			}
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"delprop/internal/server"
+)
+
+const topTestDB = `
+relation T1(AuName*, Journal*)
+T1(Joe, TKDE)
+T1(John, TKDE)
+relation T2(Journal*, Topic*, Papers)
+T2(TKDE, XML, 30)
+`
+
+// TestRunTopRendersFrame: one -plain frame against a live handler carries
+// the process line, the per-solver table and the tick count.
+func TestRunTopRendersFrame(t *testing.T) {
+	app := server.NewHandler(server.Config{})
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	raw, err := json.Marshal(server.InstanceRequest{
+		Database:  topTestDB,
+		Queries:   "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+		Deletions: "Q4(John, TKDE, XML)",
+		Timeout:   "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	app.Sampler().Tick()
+	app.Sampler().Tick()
+
+	var out, errOut bytes.Buffer
+	if code := runTop([]string{"-addr", srv.URL, "-n", "1", "-plain", "-window", "1m"}, &out, &errOut); code != 0 {
+		t.Fatalf("runTop exit = %d: %s", code, errOut.String())
+	}
+	frame := out.String()
+	for _, want := range []string{"delprop top", "window 1m", "ticks 2", "goroutines", "SOLVER", "single-tuple-exact"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame lacks %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[2J") {
+		t.Error("-plain frame contains ANSI clear escapes")
+	}
+}
+
+// TestRunTopErrors: unreachable daemons and bad flags fail with a
+// diagnostic instead of a blank screen.
+func TestRunTopErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runTop([]string{"-addr", "http://127.0.0.1:1", "-n", "1", "-plain"}, &out, &errOut); code != 1 {
+		t.Fatalf("unreachable daemon exit = %d, want 1", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("unreachable daemon produced no diagnostic")
+	}
+	errOut.Reset()
+	if code := runTop([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}

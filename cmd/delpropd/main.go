@@ -10,6 +10,8 @@
 //	         [-shed-queue-wait 500ms] [-degraded-lanes 4]
 //	         [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	         [-events-buffer 256] [-events-heartbeat 15s]
+//	         [-series-interval 5s] [-series-window 15m] [-slo slo.json]
+//	         [-postmortems 64] [-postmortems-slow 0s]
 //	         [-fault-solvers]
 //
 // Endpoints (JSON; see internal/server):
@@ -23,6 +25,10 @@
 //	GET  /metrics
 //	GET  /debug/traces
 //	GET  /debug/breakers
+//	GET  /debug/series           (rolling 1m/5m/15m windowed aggregates)
+//	GET  /debug/slo              (SLO watchdog rule standings)
+//	GET  /debug/postmortems      (flight-recorder bundle listing)
+//	GET  /debug/postmortems/{id} (one full postmortem bundle)
 //	GET  /events      (Server-Sent Events: live solve/admission/breaker stream)
 //
 // GET /events streams the live telemetry bus (solve lifecycle, phase
@@ -32,6 +38,20 @@
 // non-blocking: a stalled subscriber sheds its oldest buffered events
 // (-events-buffer sets the per-subscriber ring size) and idle streams
 // carry -events-heartbeat keep-alives reporting the drop count.
+//
+// A rolling time-series sampler snapshots every metric each
+// -series-interval tick into -series-window of ring retention;
+// GET /debug/series serves windowed rates, gauge stats and latency
+// quantiles, and "delprop top" renders them as a live terminal
+// dashboard. With -slo set, an SLO watchdog evaluates the file's rules
+// (per-solver latency quantiles, error-rate ratios, event-drop ratios,
+// breaker-open dwell, quality-ratio bounds; grammar in docs/FORMATS.md)
+// against those windows on every tick: breaches publish slo_breach
+// events, increment delprop_slo_breaches_total and capture a postmortem
+// bundle — the request's trace, stats, event history, admission outcome,
+// breaker states and process counters — into a bounded flight-recorder
+// ring (-postmortems) served at GET /debug/postmortems. Hard solve
+// failures and solves slower than -postmortems-slow capture bundles too.
 //
 // With -ops-addr set, a second listener serves the operational surface
 // (/metrics, /debug/traces, /debug/breakers, /events, /healthz, and
@@ -80,6 +100,7 @@ import (
 	"delprop/internal/admission"
 	"delprop/internal/core"
 	"delprop/internal/server"
+	"delprop/internal/telemetry"
 )
 
 func main() {
@@ -160,6 +181,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before half-open probes test recovery (0 = default)")
 	eventBuffer := fs.Int("events-buffer", server.DefaultEventBuffer, "per-subscriber ring size for GET /events; a lagging consumer sheds its oldest buffered events")
 	eventHeartbeat := fs.Duration("events-heartbeat", server.DefaultEventHeartbeat, "keep-alive interval for idle GET /events streams")
+	seriesInterval := fs.Duration("series-interval", telemetry.DefaultSeriesInterval, "rolling time-series sampling tick behind GET /debug/series and the SLO watchdog")
+	seriesWindow := fs.Duration("series-window", telemetry.DefaultSeriesWindow, "rolling time-series retention (the largest window /debug/series can answer)")
+	sloPath := fs.String("slo", "", "SLO watchdog rules file (JSON, docs/FORMATS.md); breaches publish slo_breach events, bump delprop_slo_breaches_total and capture postmortems. Empty disables the watchdog")
+	postmortems := fs.Int("postmortems", server.DefaultPostmortemCapacity, "postmortem flight-recorder ring size for GET /debug/postmortems (negative disables capture)")
+	postmortemSlow := fs.Duration("postmortems-slow", 0, "successful solves at or over this duration also capture a postmortem (0 derives the strictest -slo latency bound, negative disables slow-solve capture)")
 	faultSolvers := fs.Bool("fault-solvers", false, "register chaos solvers (chaos-flaky, chaos-block, chaos-panic, chaos-ignore) for fault-injection smoke tests; never in production")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,6 +206,18 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		engine = admission.NewEngine(pol)
 	}
 
+	var sloCfg telemetry.SLOConfig
+	if *sloPath != "" {
+		data, err := os.ReadFile(*sloPath)
+		if err != nil {
+			return fmt.Errorf("slo config: %w", err)
+		}
+		sloCfg, err = telemetry.ParseSLOConfig(data)
+		if err != nil {
+			return fmt.Errorf("slo config %s: %w", *sloPath, err)
+		}
+	}
+
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	app := server.NewHandler(server.Config{
 		DefaultSolveTimeout: *solveTimeout,
@@ -197,6 +235,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		BreakerCooldown:     *breakerCooldown,
 		EventBuffer:         *eventBuffer,
 		EventHeartbeat:      *eventHeartbeat,
+		SeriesInterval:      *seriesInterval,
+		SeriesMaxWindow:     *seriesWindow,
+		SLO:                 sloCfg,
+		PostmortemCapacity:  *postmortems,
+		PostmortemSlowSolve: *postmortemSlow,
 		Logger:              logger,
 	})
 	srv := &http.Server{
@@ -243,6 +286,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Drive the rolling time-series sampler (and with it the SLO
+	// watchdog) for the daemon's lifetime; it stops with ctx at drain.
+	go app.RunSampler(ctx)
 
 	// SIGHUP hot-reloads the admission policy without dropping in-flight
 	// quota accounting (tenants that keep their name keep their slots). A

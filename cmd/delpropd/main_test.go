@@ -14,6 +14,7 @@ import (
 
 	"delprop/internal/core"
 	"delprop/internal/server"
+	"delprop/internal/telemetry"
 )
 
 const testDB = `
@@ -265,5 +266,191 @@ func TestPolicyFileAndSIGHUPReload(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+// TestSLOBreachObservabilityChain is the end-to-end acceptance path: a
+// chaos solver drives failures into the rolling windows, the SLO
+// watchdog publishes slo_breach on /events, /debug/series shows the
+// windowed regression, and the postmortem bundle the event names carries
+// the correlated trace, stats and event history for that request.
+func TestSLOBreachObservabilityChain(t *testing.T) {
+	sloPath := t.TempDir() + "/slo.json"
+	sloDoc := `{"rules": [{"name": "solve-failures", "window": "1m", "max": 0,
+	  "value": {"metric": "delprop_solves_total", "stat": "delta",
+	    "match": {"outcome": ["error", "timeout", "panic", "unstoppable"]}}}]}`
+	if err := os.WriteFile(sloPath, []byte(sloDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-shutdown-grace", "5s", "-fault-solvers",
+			"-series-interval", "50ms", "-series-window", "2m",
+			"-slo", sloPath, "-breaker-threshold", "100"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Subscribe to the breach stream before driving any failures.
+	sseCtx, sseCancel := context.WithCancel(context.Background())
+	defer sseCancel()
+	sseReq, err := http.NewRequestWithContext(sseCtx, http.MethodGet,
+		fmt.Sprintf("http://%s/events?type=slo_breach", addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evCh := make(chan telemetry.Event, 4)
+	go func() {
+		defer sseResp.Body.Close()
+		_ = telemetry.ReadSSE(sseResp.Body, func(m telemetry.SSEMessage) error {
+			if m.Name != "slo_breach" {
+				return nil // heartbeats and stream control
+			}
+			var ev telemetry.Event
+			if err := json.Unmarshal([]byte(m.Data), &ev); err != nil {
+				return nil
+			}
+			select {
+			case evCh <- ev:
+			default:
+			}
+			return nil
+		})
+	}()
+
+	// Drive chaos failures until the watchdog trips (two ~50ms ticks must
+	// bracket at least one failed solve).
+	var breach telemetry.Event
+	deadline := time.After(15 * time.Second)
+	for breach.Type == "" {
+		select {
+		case breach = <-evCh:
+		case <-deadline:
+			t.Fatal("no slo_breach event within 15s of continuous failures")
+		default:
+			if status := postSolve(t, addr, "", "chaos-panic"); status != http.StatusInternalServerError {
+				t.Fatalf("chaos-panic status = %d, want 500", status)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	sseCancel()
+
+	if got := breach.Fields["rule"]; got != "solve-failures" {
+		t.Fatalf("breach rule = %v, want solve-failures", got)
+	}
+	if breach.RequestID == "" {
+		t.Fatal("breach event carries no correlated request id")
+	}
+	pmID, _ := breach.Fields["postmortemId"].(string)
+	if pmID == "" {
+		t.Fatalf("breach event names no postmortem: %+v", breach.Fields)
+	}
+
+	// The named bundle reconstructs the failing request: trace, stats,
+	// admission decision and its journaled event history.
+	var pm server.Postmortem
+	getDaemonJSON(t, addr, "/debug/postmortems/"+pmID, &pm)
+	if pm.Kind != "slo_breach" || pm.Breach == nil || pm.Breach.Rule != "solve-failures" {
+		t.Fatalf("bundle = kind %q breach %+v", pm.Kind, pm.Breach)
+	}
+	if pm.RequestID != breach.RequestID {
+		t.Fatalf("bundle request %q != breach request %q", pm.RequestID, breach.RequestID)
+	}
+	if pm.Outcome != "panic" {
+		t.Fatalf("bundle outcome = %q, want panic", pm.Outcome)
+	}
+	if pm.Trace == nil || pm.TraceID == 0 {
+		t.Errorf("bundle lacks the correlated trace (id %d)", pm.TraceID)
+	}
+	if pm.Stats == nil {
+		t.Error("bundle lacks the stats snapshot")
+	}
+	if pm.Admission == nil {
+		t.Error("bundle lacks the admission decision")
+	}
+	if len(pm.Events) == 0 {
+		t.Fatal("bundle lacks the correlated event history")
+	}
+	for _, ev := range pm.Events {
+		if ev.RequestID != pm.RequestID {
+			t.Fatalf("bundle event for foreign request: %+v", ev)
+		}
+	}
+
+	// The listing names the same bundle.
+	var list server.PostmortemsResponse
+	getDaemonJSON(t, addr, "/debug/postmortems", &list)
+	found := false
+	for _, sum := range list.Postmortems {
+		if sum.ID == pmID && sum.Rule == "solve-failures" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("listing lacks %s: %+v", pmID, list.Postmortems)
+	}
+
+	// The rolling series show the regression the watchdog reacted to.
+	var set telemetry.SeriesSetJSON
+	getDaemonJSON(t, addr, "/debug/series?metric=delprop_solves_total&window=1m", &set)
+	var panicDelta float64
+	for _, s := range set.Series {
+		if s.Labels["outcome"] == "panic" {
+			if agg, ok := s.Windows["1m"]; ok && agg.Delta != nil {
+				panicDelta += *agg.Delta
+			}
+		}
+	}
+	if panicDelta < 1 {
+		t.Fatalf("1m panic-outcome delta = %v, want >= 1", panicDelta)
+	}
+
+	// The watchdog's own standing page agrees.
+	var slo server.SLOResponse
+	getDaemonJSON(t, addr, "/debug/slo", &slo)
+	if len(slo.Rules) != 1 || !slo.Rules[0].Breached {
+		t.Fatalf("slo standings = %+v, want the rule breached", slo.Rules)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after context cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after context cancel")
+	}
+}
+
+// getDaemonJSON fetches one JSON endpoint from the test daemon.
+func getDaemonJSON(t *testing.T, addr, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
 	}
 }

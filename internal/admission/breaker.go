@@ -211,6 +211,31 @@ func (s *BreakerSet) State(solver string) BreakerState {
 	return BreakerClosed
 }
 
+// EachState calls fn once per materialized breaker, sorted by solver
+// name, outside the set's lock (a copied view) — the server's series
+// sampler refreshes the per-solver state gauge through it each tick, so
+// rolling windows see how long a breaker dwelled open, not just the
+// transition edges.
+func (s *BreakerSet) EachState(fn func(solver string, st BreakerState)) {
+	if s == nil || fn == nil {
+		return
+	}
+	type entry struct {
+		name  string
+		state BreakerState
+	}
+	s.mu.Lock()
+	entries := make([]entry, 0, len(s.m))
+	for name, b := range s.m {
+		entries = append(entries, entry{name, b.state})
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		fn(e.name, e.state)
+	}
+}
+
 // BreakerStatus is one breaker's exported state.
 type BreakerStatus struct {
 	Solver              string `json:"solver"`

@@ -26,6 +26,10 @@ const (
 	eventSolveDone  = "solve_done"
 	eventAdmission  = "admission"
 	eventBreaker    = "breaker"
+	// SLO watchdog transitions (series.go): a rule crossing its bound,
+	// and its return inside it.
+	eventSLOBreach    = "slo_breach"
+	eventSLORecovered = "slo_recovered"
 	// Stream-control events are synthesized per subscriber by the SSE
 	// handler, outside the bus (so type filters never starve a consumer
 	// of its keep-alives or its drop accounting).
@@ -33,10 +37,12 @@ const (
 	eventStreamEnd = "stream_end"
 )
 
-// publishEvent puts one correlated event on the bus. Fields must be
+// publishEvent puts one correlated event on the bus and journals the
+// stamped copy so postmortem bundles can replay a request's history
+// after the live subscribers have moved on. Fields must be
 // JSON-encodable; nil is fine.
 func (a *api) publishEvent(typ, reqID string, traceID uint64, tenant, solver string, fields map[string]any) {
-	a.cfg.Events.Publish(telemetry.Event{
+	ev := a.cfg.Events.Publish(telemetry.Event{
 		Type:      typ,
 		RequestID: reqID,
 		TraceID:   traceID,
@@ -44,6 +50,7 @@ func (a *api) publishEvent(typ, reqID string, traceID uint64, tenant, solver str
 		Solver:    solver,
 		Fields:    fields,
 	})
+	a.journal.Append(ev)
 }
 
 // eventFilter builds the subscriber's filter from the /events query

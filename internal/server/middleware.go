@@ -78,6 +78,31 @@ type Config struct {
 	// heartbeat event (carrying the subscriber's drop counter); 0 means
 	// DefaultEventHeartbeat.
 	EventHeartbeat time.Duration
+	// SeriesInterval is the rolling time-series sampler's tick period; 0
+	// means telemetry.DefaultSeriesInterval. The sampler only ticks while
+	// something drives it (delpropd runs Server.RunSampler; tests call
+	// Server.Sampler().Tick()), so embedding the handler without either
+	// costs nothing.
+	SeriesInterval time.Duration
+	// SeriesMaxWindow bounds how far back /debug/series windows can
+	// reach (ring retention); 0 means telemetry.DefaultSeriesWindow.
+	SeriesMaxWindow time.Duration
+	// SLO holds the watchdog rules evaluated against the rolling windows
+	// on every sampler tick (delpropd's -slo file). No rules, no
+	// watchdog.
+	SLO telemetry.SLOConfig
+	// PostmortemCapacity bounds the flight recorder's bundle ring; 0
+	// means DefaultPostmortemCapacity, negative disables capture.
+	PostmortemCapacity int
+	// PostmortemSlowSolve is the duration at or above which a successful
+	// solve still captures a postmortem ("why was that slow"); 0 derives
+	// it from the strictest SLO latency bound, negative disables
+	// slow-solve capture.
+	PostmortemSlowSolve time.Duration
+	// EventJournalCapacity bounds the event journal postmortems draw
+	// correlated event history from; 0 means
+	// telemetry.DefaultJournalCapacity.
+	EventJournalCapacity int
 }
 
 // Defaults applied by withDefaults.
@@ -95,6 +120,13 @@ const (
 	DefaultDegradedLanes      = 4
 	DefaultEventBuffer        = telemetry.DefaultSubscriberBuffer
 	DefaultEventHeartbeat     = 15 * time.Second
+	// DefaultPostmortemCapacity bounds the flight recorder's ring: deep
+	// enough to cover an incident review, bounded because every bundle
+	// pins a trace, a stats snapshot and an event slice.
+	DefaultPostmortemCapacity = 64
+	// recentSolveCapacity bounds the ring of finished-solve records the
+	// flight recorder correlates SLO breaches against.
+	recentSolveCapacity = 128
 )
 
 // DefaultConfig returns the production defaults documented in
@@ -162,6 +194,18 @@ func (c Config) withDefaults() Config {
 	if c.EventHeartbeat <= 0 {
 		c.EventHeartbeat = DefaultEventHeartbeat
 	}
+	if c.SeriesInterval <= 0 {
+		c.SeriesInterval = telemetry.DefaultSeriesInterval
+	}
+	if c.SeriesMaxWindow <= 0 {
+		c.SeriesMaxWindow = telemetry.DefaultSeriesWindow
+	}
+	if c.PostmortemCapacity == 0 {
+		c.PostmortemCapacity = DefaultPostmortemCapacity
+	}
+	if c.EventJournalCapacity <= 0 {
+		c.EventJournalCapacity = telemetry.DefaultJournalCapacity
+	}
 	return c
 }
 
@@ -175,10 +219,25 @@ type api struct {
 	degradedSem chan struct{}
 	breakers    *admission.BreakerSet
 	// latencyAll aggregates solve latency across solvers; Retry-After
-	// hints are derived from its p90 (see retryAfterSeconds).
+	// hints fall back to its p90 when the rolling 1m window is empty
+	// (see retryAfterSeconds).
 	latencyAll *telemetry.Histogram
-	nextID     atomic.Uint64
-	draining   atomic.Bool
+	// sampler drives the rolling time-series rings behind /debug/series
+	// and the SLO watchdog; watchdog is nil without SLO rules.
+	sampler  *telemetry.Sampler
+	watchdog *telemetry.Watchdog
+	// journal retains recent bus events for postmortem correlation;
+	// postmortems is the flight recorder's bundle ring (nil when capture
+	// is disabled); recent is the finished-solve ring SLO breaches are
+	// correlated against.
+	journal     *telemetry.Journal
+	postmortems *postmortemRing
+	recent      *recentSolves
+	// slowSolve is the resolved over-SLO solve capture threshold
+	// (Config.PostmortemSlowSolve, possibly derived; 0 disables).
+	slowSolve time.Duration
+	nextID    atomic.Uint64
+	draining  atomic.Bool
 	// start anchors the delprop_process_uptime_seconds gauge.
 	start time.Time
 }

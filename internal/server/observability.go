@@ -61,6 +61,9 @@ const (
 	metricEventsPublished   = "delprop_events_published_total"
 	metricEventsDropped     = "delprop_events_dropped_total"
 	metricEventsSubscribers = "delprop_events_subscribers"
+
+	// SLO watchdog (series.go).
+	metricSLOBreaches = "delprop_slo_breaches_total"
 )
 
 // qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
@@ -106,11 +109,20 @@ func routeLabel(path string) string {
 		return "/debug/traces"
 	case "/debug/breakers":
 		return "/debug/breakers"
+	case "/debug/series":
+		return "/debug/series"
+	case "/debug/slo":
+		return "/debug/slo"
 	case "/events":
 		return "/events"
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"
+	}
+	// The {id} suffix is client-chosen, so every bundle fetch shares one
+	// series.
+	if strings.HasPrefix(path, "/debug/postmortems") {
+		return "/debug/postmortems"
 	}
 	return "other"
 }
@@ -196,12 +208,18 @@ func (a *api) observeDegraded(tenant, rule string) {
 }
 
 // retryAfterSeconds derives the Retry-After hint for shed responses from
-// the live aggregate solve-latency histogram: the p90 solve time is how
-// long a running request plausibly keeps its slot, so retrying sooner
-// mostly burns the client's rate budget. Clamped to [1, 60] whole seconds
-// (empty histogram → 1, matching the old hardcoded hint).
+// solve latency: the p90 solve time is how long a running request
+// plausibly keeps its slot, so retrying sooner mostly burns the client's
+// rate budget. The estimate prefers the rolling 1m window (what solves
+// cost *now*) and falls back to the lifetime aggregate histogram only
+// while the window is empty — a long-running daemon's morning traffic no
+// longer pollutes its evening shed hints. Clamped to [1, 60] whole
+// seconds (no data → 1, matching the old hardcoded hint).
 func (a *api) retryAfterSeconds() int {
-	p90 := a.latencyAll.Quantile(0.9)
+	p90, ok := a.sampler.Quantile(metricAdmissionLatency, nil, time.Minute, 0.9)
+	if !ok {
+		p90 = a.latencyAll.Quantile(0.9)
+	}
 	secs := int(math.Ceil(p90))
 	if secs < 1 {
 		secs = 1
@@ -300,7 +318,8 @@ func (a *api) observeBatch(resp BatchResponse, dur time.Duration) {
 // registerBuildInfo publishes the delprop_build_info gauge (constant 1,
 // with the build identity as labels — the standard Prometheus pattern for
 // joining dashboards against versions) and initializes the process-level
-// runtime gauges handleMetrics refreshes per scrape.
+// runtime gauges the sampler tick (or, before the first tick, each
+// /metrics scrape) refreshes.
 func (a *api) registerBuildInfo() {
 	labels := telemetry.Labels{"goversion": runtime.Version(), "revision": "unknown", "modified": "false"}
 	if info, ok := debug.ReadBuildInfo(); ok {
@@ -334,10 +353,14 @@ func (a *api) updateRuntimeGauges() {
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
-// format, refreshing the process-level runtime gauges first so every
-// scrape sees current values.
+// format. Once the sampler is ticking, the runtime gauges refresh on its
+// tick (initSeries) so /metrics and /debug/series report the same
+// values; until the first tick — embedders that never drive the sampler
+// — each scrape refreshes them itself, preserving the old behavior.
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	a.updateRuntimeGauges()
+	if a.sampler.Ticks() == 0 {
+		a.updateRuntimeGauges()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	a.cfg.Metrics.WritePrometheus(w)
 }
@@ -454,6 +477,10 @@ func (s *Server) OpsHandler(enablePprof bool) http.Handler {
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
+	mux.HandleFunc("GET /debug/series", a.handleSeries)
+	mux.HandleFunc("GET /debug/slo", a.handleSLO)
+	mux.HandleFunc("GET /debug/postmortems", a.handlePostmortems)
+	mux.HandleFunc("GET /debug/postmortems/{id}", a.handlePostmortem)
 	mux.HandleFunc("GET /events", a.handleEvents)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	if enablePprof {

@@ -71,6 +71,7 @@ func NewHandler(cfg Config) *Server {
 	a.registerBreakerMetrics()
 	a.registerEventMetrics()
 	a.registerBuildInfo()
+	a.initSeries()
 	mux := http.NewServeMux()
 	// solve and batch are degradable: the overload ladder may downgrade
 	// them to the tenant's cheap solver instead of shedding. The other
@@ -86,6 +87,12 @@ func NewHandler(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	mux.HandleFunc("GET /debug/breakers", a.handleBreakers)
+	// Rolling windowed aggregates, SLO standing and the postmortem flight
+	// recorder: observability reads, so they stay outside the shedder too.
+	mux.HandleFunc("GET /debug/series", a.handleSeries)
+	mux.HandleFunc("GET /debug/slo", a.handleSLO)
+	mux.HandleFunc("GET /debug/postmortems", a.handlePostmortems)
+	mux.HandleFunc("GET /debug/postmortems/{id}", a.handlePostmortem)
 	// The live event stream is an observability read like /metrics: it
 	// stays outside the shedder so an operator can watch a saturated
 	// server, and it is also mounted on the ops listener (OpsHandler).
@@ -139,6 +146,18 @@ func (s *Server) Admission() *admission.Engine { return s.api.cfg.Admission }
 // Breakers returns the per-solver circuit breaker set (nil when breakers
 // are disabled via a negative BreakerThreshold).
 func (s *Server) Breakers() *admission.BreakerSet { return s.api.breakers }
+
+// Sampler returns the rolling time-series sampler behind GET
+// /debug/series. It takes no samples until RunSampler (or a direct
+// Tick) drives it.
+func (s *Server) Sampler() *telemetry.Sampler { return s.api.sampler }
+
+// RunSampler ticks the rolling time-series sampler at its configured
+// interval until ctx is done. delpropd runs it in a goroutine for the
+// daemon's lifetime; embedders that skip it keep the pre-series
+// behavior (per-scrape runtime gauges, lifetime-histogram Retry-After,
+// no windowed data).
+func (s *Server) RunSampler(ctx context.Context) { s.api.sampler.Run(ctx) }
 
 // InstanceRequest is the common instance payload: textio database, datalog
 // queries, and (for solve) a textio deletion request.
@@ -609,6 +628,21 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		if degraded {
 			a.observeDegraded(tenant, degradedRule)
 		}
+		// Feed the flight recorder: the record correlates later SLO
+		// breaches to this request, and hard failures / over-SLO solves
+		// capture a postmortem bundle immediately.
+		a.recordSolve(solveRecord{
+			at:       time.Now(),
+			reqID:    reqID,
+			traceID:  traceID,
+			tenant:   tenant,
+			solver:   solver.Name(),
+			outcome:  outcome,
+			durMs:    float64(solveDur) / float64(time.Millisecond),
+			degraded: degraded,
+			rule:     degradedRule,
+			stats:    snap,
+		})
 		a.cfg.Logger.Info("solve",
 			"requestId", reqID,
 			"solver", solver.Name(),

@@ -115,10 +115,11 @@ func (b *Bus) SetHooks(h BusHooks) {
 
 // Publish stamps the event (sequence number, and time when unset) and
 // fans it out to every matching subscriber's buffer. It never blocks on
-// a consumer and is safe for concurrent use.
-func (b *Bus) Publish(ev Event) {
+// a consumer and is safe for concurrent use. The stamped event is
+// returned so callers can journal or correlate it.
+func (b *Bus) Publish(ev Event) Event {
 	if b == nil {
-		return
+		return ev
 	}
 	ev.Seq = b.seq.Add(1)
 	if ev.Time.IsZero() {
@@ -145,6 +146,7 @@ func (b *Bus) Publish(ev Event) {
 			onDrop()
 		}
 	}
+	return ev
 }
 
 // Subscribe registers a consumer with its own ring buffer of the given

@@ -1,0 +1,93 @@
+package telemetry
+
+import "sync"
+
+// Journal is a bounded ring of recently published events kept for
+// postmortem correlation. The bus fans events out to live subscribers
+// and forgets them; the journal remembers the last N so a flight
+// recorder can reconstruct "what else was happening" around a failing
+// request after the fact. A nil *Journal is a valid no-op.
+//
+//delprop:nilsafe
+type Journal struct {
+	mu   sync.Mutex
+	buf  []Event //delprop:guardedby mu
+	head int     //delprop:guardedby mu
+	n    int     //delprop:guardedby mu
+}
+
+// DefaultJournalCapacity bounds the journal when the caller passes <= 0.
+const DefaultJournalCapacity = 2048
+
+// NewJournal returns a journal retaining the most recent capacity events
+// (DefaultJournalCapacity when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append records one (already stamped) event, evicting the oldest when
+// full.
+func (j *Journal) Append(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n < len(j.buf) {
+		j.buf[(j.head+j.n)%len(j.buf)] = ev
+		j.n++
+		return
+	}
+	j.buf[j.head] = ev
+	j.head = (j.head + 1) % len(j.buf)
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// ByRequest returns the retained events stamped with the given request
+// id, oldest first.
+func (j *Journal) ByRequest(requestID string) []Event {
+	if j == nil || requestID == "" {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	for i := 0; i < j.n; i++ {
+		ev := j.buf[(j.head+i)%len(j.buf)]
+		if ev.RequestID == requestID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Recent returns up to limit of the newest retained events, oldest
+// first. limit <= 0 returns everything.
+func (j *Journal) Recent(limit int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Event, 0, n)
+	for i := j.n - n; i < j.n; i++ {
+		out = append(out, j.buf[(j.head+i)%len(j.buf)])
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestJournalRingEviction: the journal keeps the newest capacity events
+// and Recent returns them oldest first.
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Seq: uint64(i), Type: "solve_start", Time: time.Unix(int64(i), 0)})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	got := j.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("Recent(0) returned %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Fatalf("Recent[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	got = j.Recent(2)
+	if len(got) != 2 || got[0].Seq != 8 || got[1].Seq != 9 {
+		t.Fatalf("Recent(2) = %+v, want seqs 8,9", got)
+	}
+}
+
+// TestJournalByRequest: correlation returns only the request's events, in
+// publication order, and survives ring wrap.
+func TestJournalByRequest(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 12; i++ {
+		req := "req-a"
+		if i%2 == 1 {
+			req = "req-b"
+		}
+		j.Append(Event{Seq: uint64(i), Type: "phase", RequestID: req})
+	}
+	// Seqs 4..11 survive; req-a holds the even ones.
+	got := j.ByRequest("req-a")
+	if len(got) != 4 {
+		t.Fatalf("ByRequest returned %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(4 + 2*i); ev.Seq != want {
+			t.Fatalf("ByRequest[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if j.ByRequest("") != nil {
+		t.Fatal("empty request id matched events")
+	}
+	if j.ByRequest("req-z") != nil {
+		t.Fatal("unknown request id matched events")
+	}
+}
+
+// TestJournalDefaultCapacityAndNil: capacity <= 0 takes the default; a
+// nil journal is a no-op.
+func TestJournalDefaultCapacityAndNil(t *testing.T) {
+	j := NewJournal(0)
+	for i := 0; i < DefaultJournalCapacity+5; i++ {
+		j.Append(Event{Seq: uint64(i)})
+	}
+	if j.Len() != DefaultJournalCapacity {
+		t.Fatalf("default-capacity Len = %d, want %d", j.Len(), DefaultJournalCapacity)
+	}
+
+	var nilJ *Journal
+	nilJ.Append(Event{Type: "x"})
+	if nilJ.Len() != 0 || nilJ.Recent(5) != nil || nilJ.ByRequest("r") != nil {
+		t.Fatal("nil journal not a no-op")
+	}
+}
+
+// TestPublishReturnsStampedEvent: Bus.Publish hands back the event with
+// its assigned sequence and timestamp so callers can journal exactly what
+// subscribers saw.
+func TestPublishReturnsStampedEvent(t *testing.T) {
+	b := NewBus()
+	defer b.Shutdown()
+	j := NewJournal(16)
+	sub := b.Subscribe(Filter{}, 16)
+	defer sub.Close()
+	for i := 0; i < 3; i++ {
+		ev := b.Publish(Event{Type: "tick", RequestID: fmt.Sprintf("r%d", i)})
+		if ev.Seq == 0 || ev.Time.IsZero() {
+			t.Fatalf("published event not stamped: %+v", ev)
+		}
+		j.Append(ev)
+	}
+	delivered := sub.Drain(0)
+	recorded := j.Recent(0)
+	if len(delivered) != 3 || len(recorded) != 3 {
+		t.Fatalf("delivered %d, journaled %d, want 3/3", len(delivered), len(recorded))
+	}
+	for i := range delivered {
+		if delivered[i].Seq != recorded[i].Seq || delivered[i].RequestID != recorded[i].RequestID {
+			t.Fatalf("journal diverged from the bus at %d: %+v vs %+v", i, recorded[i], delivered[i])
+		}
+	}
+}

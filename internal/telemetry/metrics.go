@@ -197,6 +197,7 @@ type family struct {
 	kind   metricKind
 	bounds []float64 // histograms only
 	series map[string]any
+	labels map[string]Labels // canonical key -> original label values
 	order  []string
 }
 
@@ -232,7 +233,8 @@ func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, 
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
-		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]any)}
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]any), labels: make(map[string]Labels)}
 		r.families[name] = f
 		r.order = append(r.order, name)
 	}
@@ -243,6 +245,13 @@ func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, 
 	if !ok {
 		s = mk()
 		f.series[lk] = s
+		if len(labels) > 0 {
+			copied := make(Labels, len(labels))
+			for k, v := range labels {
+				copied[k] = v
+			}
+			f.labels[lk] = copied
+		}
 		f.order = append(f.order, lk)
 	}
 	return s
@@ -327,6 +336,73 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 		}
 	}
+}
+
+// MetricSnapshot is one series' point-in-time value, as captured by
+// Registry.Snapshot: the family identity plus the kind-specific payload.
+// For histograms, Buckets holds the per-slot (non-cumulative) counts
+// aligned with Bounds; the +Inf overflow count is Count minus the bucket
+// sum. The rolling time-series Sampler consumes these each tick.
+type MetricSnapshot struct {
+	Name      string
+	Kind      string // "counter", "gauge" or "histogram"
+	LabelsKey string // canonical sorted label rendering ("" when unlabeled)
+	Labels    Labels
+	Value     float64   // counter cumulative count / gauge current value
+	Count     int64     // histogram observation count
+	Sum       float64   // histogram observation sum
+	Bounds    []float64 // histogram upper bounds (shared, read-only)
+	Buckets   []int64   // histogram per-slot counts, aligned with Bounds
+}
+
+// kindName renders the kind for snapshots.
+func (k metricKind) kindName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// Snapshot copies every series' current value in registration order. The
+// per-series Labels maps are shared read-only copies made at series
+// creation; callers must not mutate them. A nil registry snapshots empty.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []MetricSnapshot
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, lk := range f.order {
+			m := MetricSnapshot{
+				Name:      f.name,
+				Kind:      f.kind.kindName(),
+				LabelsKey: lk,
+				Labels:    f.labels[lk],
+			}
+			switch s := f.series[lk].(type) {
+			case *Counter:
+				m.Value = float64(s.Value())
+			case *Gauge:
+				m.Value = s.Value()
+			case *Histogram:
+				m.Count = s.Count()
+				m.Sum = s.Sum()
+				m.Bounds = s.bounds
+				m.Buckets = make([]int64, len(s.buckets))
+				for i := range s.buckets {
+					m.Buckets[i] = s.buckets[i].Load()
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // braced wraps a non-empty label key in {}.

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO watchdog. A declarative config (delpropd -slo file.json; grammar in
+// docs/FORMATS.md) names windowed signals — solver latency quantiles,
+// error-rate ratios, event-bus drop ratios, breaker-open dwell time,
+// achieved-vs-certified quality ratio — and bounds for each. The watchdog
+// re-evaluates every rule against the Sampler's rolling windows on each
+// tick and reports transitions: one breach when a rule first crosses its
+// bound, one recovery when it returns. The server turns those into
+// slo_breach / slo_recovered bus events, a breach counter metric, and
+// postmortem captures.
+
+// SLOValue selects one windowed scalar. Stat picks the reduction:
+//
+//	counters:   rate (per-second), delta
+//	gauges:     last, min, max, avg, time_at (seconds at Equals)
+//	histograms: p50, p95, p99, count, rate
+//	composite:  ratio (Num / Den, evaluated recursively; skipped while
+//	            the denominator is zero so idle systems never breach)
+//
+// Match restricts the series by label values; a rule's By label is added
+// to Match automatically for each expansion target.
+type SLOValue struct {
+	Metric string              `json:"metric,omitempty"`
+	Stat   string              `json:"stat"`
+	Match  map[string][]string `json:"match,omitempty"`
+	Equals *float64            `json:"equals,omitempty"`
+	Num    *SLOValue           `json:"num,omitempty"`
+	Den    *SLOValue           `json:"den,omitempty"`
+}
+
+// SLORule bounds one SLOValue over one window. With By set, the rule
+// expands into one check per observed value of that label (per-solver
+// latency, per-tenant error rate) — each target breaches and recovers
+// independently.
+type SLORule struct {
+	Name   string   `json:"name"`
+	Window string   `json:"window"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+	By     string   `json:"by,omitempty"`
+	Value  SLOValue `json:"value"`
+
+	window time.Duration // parsed by Validate
+}
+
+// SLOConfig is the top-level -slo document.
+type SLOConfig struct {
+	Rules []SLORule `json:"rules"`
+}
+
+var sloStats = map[string]bool{
+	"rate": true, "delta": true,
+	"last": true, "min": true, "max": true, "avg": true, "time_at": true,
+	"p50": true, "p95": true, "p99": true, "count": true,
+	"ratio": true,
+}
+
+func validateSLOValue(v *SLOValue, depth int) error {
+	if !sloStats[v.Stat] {
+		return fmt.Errorf("unknown stat %q", v.Stat)
+	}
+	if v.Stat == "ratio" {
+		if depth > 0 {
+			return fmt.Errorf("ratio cannot nest inside ratio")
+		}
+		if v.Num == nil || v.Den == nil {
+			return fmt.Errorf("ratio requires num and den")
+		}
+		if err := validateSLOValue(v.Num, depth+1); err != nil {
+			return fmt.Errorf("num: %w", err)
+		}
+		if err := validateSLOValue(v.Den, depth+1); err != nil {
+			return fmt.Errorf("den: %w", err)
+		}
+		return nil
+	}
+	if v.Metric == "" {
+		return fmt.Errorf("stat %q requires a metric", v.Stat)
+	}
+	if v.Stat == "time_at" && v.Equals == nil {
+		return fmt.Errorf("time_at requires equals")
+	}
+	return nil
+}
+
+// Validate checks the config and parses rule windows in place.
+func (c *SLOConfig) Validate() error {
+	if len(c.Rules) == 0 {
+		return fmt.Errorf("slo config has no rules")
+	}
+	seen := make(map[string]bool, len(c.Rules))
+	for i := range c.Rules {
+		r := &c.Rules[i]
+		if r.Name == "" {
+			return fmt.Errorf("rule %d: name is required", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("rule %q: duplicate name", r.Name)
+		}
+		seen[r.Name] = true
+		w, err := time.ParseDuration(r.Window)
+		if err != nil || w <= 0 {
+			return fmt.Errorf("rule %q: bad window %q", r.Name, r.Window)
+		}
+		r.window = w
+		if r.Max == nil && r.Min == nil {
+			return fmt.Errorf("rule %q: needs max or min", r.Name)
+		}
+		if err := validateSLOValue(&r.Value, 0); err != nil {
+			return fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// ParseSLOConfig decodes and validates an -slo JSON document.
+func ParseSLOConfig(data []byte) (SLOConfig, error) {
+	var cfg SLOConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("parse slo config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// metric names the family a rule reads (the numerator's, for ratios) —
+// By-label expansion enumerates this family's label values.
+func (r *SLORule) metric() string {
+	if r.Value.Stat == "ratio" && r.Value.Num != nil {
+		return r.Value.Num.Metric
+	}
+	return r.Value.Metric
+}
+
+// SLOBreach is one rule transition: a target crossing its bound
+// (Recovered false) or returning inside it (Recovered true).
+type SLOBreach struct {
+	Rule      string    `json:"rule"`
+	By        string    `json:"by,omitempty"`     // label the rule expands over
+	Target    string    `json:"target,omitempty"` // By-label value, if the rule expands
+	Window    string    `json:"window"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Bound     string    `json:"bound"` // "max" or "min"
+	Recovered bool      `json:"recovered,omitempty"`
+	At        time.Time `json:"at"`
+}
+
+// SLOStatus is one rule target's current standing, for debug egress.
+type SLOStatus struct {
+	Rule     string  `json:"rule"`
+	Target   string  `json:"target,omitempty"`
+	Window   string  `json:"window"`
+	Value    float64 `json:"value"`
+	Breached bool    `json:"breached"`
+	// Evaluated is false while the window has no data for this target
+	// (Value is then meaningless).
+	Evaluated bool `json:"evaluated"`
+}
+
+// Watchdog evaluates an SLOConfig against a Sampler's windows. Register
+// its Evaluate on the sampler's OnTick; transitions flow to the onBreach
+// callback (the server publishes them as bus events from there). A nil
+// *Watchdog is a valid no-op.
+//
+//delprop:nilsafe
+type Watchdog struct {
+	sampler  *Sampler
+	cfg      SLOConfig
+	onBreach func(SLOBreach) // immutable after NewWatchdog
+
+	mu       sync.Mutex
+	breached map[string]bool      //delprop:guardedby mu
+	status   map[string]SLOStatus //delprop:guardedby mu
+}
+
+// NewWatchdog returns a watchdog over s. cfg must already Validate (use
+// ParseSLOConfig). onBreach may be nil; transitions are still tracked
+// and returned from Evaluate.
+func NewWatchdog(s *Sampler, cfg SLOConfig, onBreach func(SLOBreach)) *Watchdog {
+	return &Watchdog{
+		sampler:  s,
+		cfg:      cfg,
+		onBreach: onBreach,
+		breached: make(map[string]bool),
+		status:   make(map[string]SLOStatus),
+	}
+}
+
+// evalValue resolves one SLOValue over window w, with the rule's By
+// label pinned to target when set. ok is false when the window has no
+// usable data (the rule is skipped, not breached).
+func (d *Watchdog) evalValue(v *SLOValue, by, target string, w time.Duration) (float64, bool) {
+	if v.Stat == "ratio" {
+		den, ok := d.evalValue(v.Den, by, target, w)
+		if !ok || den == 0 {
+			return 0, false
+		}
+		num, ok := d.evalValue(v.Num, by, target, w)
+		if !ok {
+			return 0, false
+		}
+		return num / den, true
+	}
+	match := v.Match
+	if by != "" {
+		match = make(map[string][]string, len(v.Match)+1)
+		for k, vals := range v.Match {
+			match[k] = vals
+		}
+		match[by] = []string{target}
+	}
+	switch v.Stat {
+	case "rate", "delta":
+		if cw, ok := d.sampler.CounterWindow(v.Metric, match, w); ok {
+			if v.Stat == "rate" {
+				return cw.Rate, true
+			}
+			return cw.Delta, true
+		}
+		// Histogram counts work as event streams too.
+		if hw, ok := d.sampler.HistogramWindow(v.Metric, match, w); ok {
+			if v.Stat == "rate" {
+				return hw.Rate, true
+			}
+			return float64(hw.Count), true
+		}
+		return 0, false
+	case "last", "min", "max", "avg":
+		gw, ok := d.sampler.GaugeWindow(v.Metric, match, w)
+		if !ok {
+			return 0, false
+		}
+		switch v.Stat {
+		case "last":
+			return gw.Last, true
+		case "min":
+			return gw.Min, true
+		case "max":
+			return gw.Max, true
+		default:
+			return gw.Avg, true
+		}
+	case "time_at":
+		dur, ok := d.sampler.GaugeTimeAt(v.Metric, match, w, *v.Equals)
+		if !ok {
+			return 0, false
+		}
+		return dur.Seconds(), true
+	case "p50", "p95", "p99", "count":
+		hw, ok := d.sampler.HistogramWindow(v.Metric, match, w)
+		if !ok || hw.Count == 0 {
+			return 0, false
+		}
+		switch v.Stat {
+		case "p50":
+			return hw.P50, true
+		case "p95":
+			return hw.P95, true
+		case "p99":
+			return hw.P99, true
+		default:
+			return float64(hw.Count), true
+		}
+	}
+	return 0, false
+}
+
+// Evaluate checks every rule (expanding By targets) and returns the
+// transitions since the previous evaluation, firing onBreach for each.
+// Wire it to the sampler: s.OnTick(func(now time.Time) { d.Evaluate(now) }).
+func (d *Watchdog) Evaluate(now time.Time) []SLOBreach {
+	if d == nil {
+		return nil
+	}
+	var transitions []SLOBreach
+	d.mu.Lock()
+	for i := range d.cfg.Rules {
+		r := &d.cfg.Rules[i]
+		targets := []string{""}
+		if r.By != "" {
+			targets = d.sampler.LabelValues(r.metric(), r.By)
+		}
+		for _, target := range targets {
+			key := r.Name + "\x00" + target
+			val, ok := d.evalValue(&r.Value, r.By, target, r.window)
+			st := SLOStatus{Rule: r.Name, Target: target, Window: r.Window, Value: val, Evaluated: ok}
+			if !ok {
+				// No data: keep prior breach state, just record status.
+				st.Breached = d.breached[key]
+				d.status[key] = st
+				continue
+			}
+			breach := (r.Max != nil && val > *r.Max) || (r.Min != nil && val < *r.Min)
+			st.Breached = breach
+			d.status[key] = st
+			if breach == d.breached[key] {
+				continue
+			}
+			d.breached[key] = breach
+			threshold, bound := 0.0, "max"
+			if r.Max != nil && (breach && val > *r.Max || !breach && r.Min == nil) {
+				threshold = *r.Max
+			} else if r.Min != nil {
+				threshold, bound = *r.Min, "min"
+			}
+			transitions = append(transitions, SLOBreach{
+				Rule:      r.Name,
+				By:        r.By,
+				Target:    target,
+				Window:    r.Window,
+				Value:     val,
+				Threshold: threshold,
+				Bound:     bound,
+				Recovered: !breach,
+				At:        now,
+			})
+		}
+	}
+	d.mu.Unlock()
+	if d.onBreach != nil {
+		for _, b := range transitions {
+			d.onBreach(b)
+		}
+	}
+	return transitions
+}
+
+// Status returns the latest standing of every evaluated rule target,
+// sorted by rule then target.
+func (d *Watchdog) Status() []SLOStatus {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	out := make([]SLOStatus, 0, len(d.status))
+	for _, st := range d.status {
+		out = append(out, st)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}

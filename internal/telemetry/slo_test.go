@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustSLO(t *testing.T, doc string) SLOConfig {
+	t.Helper()
+	cfg, err := ParseSLOConfig([]byte(doc))
+	if err != nil {
+		t.Fatalf("ParseSLOConfig: %v", err)
+	}
+	return cfg
+}
+
+// TestParseSLOConfigValid: the documented grammar parses, windows are
+// resolved, and ratio rules carry their operands.
+func TestParseSLOConfigValid(t *testing.T) {
+	cfg := mustSLO(t, `{
+	  "rules": [
+	    {"name": "solve-p99", "window": "1m", "max": 0.5, "by": "solver",
+	     "value": {"metric": "delprop_solve_duration_seconds", "stat": "p99"}},
+	    {"name": "error-rate", "window": "5m", "max": 0.05,
+	     "value": {"stat": "ratio",
+	       "num": {"metric": "delprop_solves_total", "stat": "delta",
+	               "match": {"outcome": ["error", "panic"]}},
+	       "den": {"metric": "delprop_solves_total", "stat": "delta"}}},
+	    {"name": "breaker-dwell", "window": "5m", "max": 60,
+	     "value": {"metric": "delprop_breaker_state", "stat": "time_at", "equals": 2}}
+	  ]
+	}`)
+	if len(cfg.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(cfg.Rules))
+	}
+	if cfg.Rules[0].window != time.Minute {
+		t.Fatalf("rule 0 window = %v, want 1m", cfg.Rules[0].window)
+	}
+	if got := cfg.Rules[1].metric(); got != "delprop_solves_total" {
+		t.Fatalf("ratio rule metric() = %q, want the numerator's", got)
+	}
+}
+
+// TestParseSLOConfigErrors: every malformed shape is rejected with a
+// pointed message instead of silently doing nothing at runtime.
+func TestParseSLOConfigErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, wantErr string
+	}{
+		{"bad json", `{"rules": [`, "parse slo config"},
+		{"no rules", `{"rules": []}`, "no rules"},
+		{"missing name", `{"rules": [{"window": "1m", "max": 1, "value": {"metric": "m", "stat": "rate"}}]}`, "name is required"},
+		{"duplicate name", `{"rules": [
+		  {"name": "a", "window": "1m", "max": 1, "value": {"metric": "m", "stat": "rate"}},
+		  {"name": "a", "window": "1m", "max": 1, "value": {"metric": "m", "stat": "rate"}}]}`, "duplicate name"},
+		{"bad window", `{"rules": [{"name": "a", "window": "soon", "max": 1, "value": {"metric": "m", "stat": "rate"}}]}`, "bad window"},
+		{"negative window", `{"rules": [{"name": "a", "window": "-5s", "max": 1, "value": {"metric": "m", "stat": "rate"}}]}`, "bad window"},
+		{"no bound", `{"rules": [{"name": "a", "window": "1m", "value": {"metric": "m", "stat": "rate"}}]}`, "needs max or min"},
+		{"unknown stat", `{"rules": [{"name": "a", "window": "1m", "max": 1, "value": {"metric": "m", "stat": "p42"}}]}`, "unknown stat"},
+		{"stat without metric", `{"rules": [{"name": "a", "window": "1m", "max": 1, "value": {"stat": "rate"}}]}`, "requires a metric"},
+		{"time_at without equals", `{"rules": [{"name": "a", "window": "1m", "max": 1, "value": {"metric": "m", "stat": "time_at"}}]}`, "time_at requires equals"},
+		{"ratio without den", `{"rules": [{"name": "a", "window": "1m", "max": 1,
+		  "value": {"stat": "ratio", "num": {"metric": "m", "stat": "delta"}}}]}`, "requires num and den"},
+		{"nested ratio", `{"rules": [{"name": "a", "window": "1m", "max": 1,
+		  "value": {"stat": "ratio",
+		    "num": {"stat": "ratio", "num": {"metric": "m", "stat": "delta"}, "den": {"metric": "m", "stat": "delta"}},
+		    "den": {"metric": "m", "stat": "delta"}}}]}`, "cannot nest"},
+	} {
+		_, err := ParseSLOConfig([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestWatchdogBreachAndRecover: a rule transitions into breach exactly
+// once while the window is violated and emits one recovery when the
+// violation ages out.
+func TestWatchdogBreachAndRecover(t *testing.T) {
+	reg := NewRegistry()
+	errs := reg.Counter("errs_total", "test", nil)
+	s, clk := newTestSampler(reg, time.Second, time.Minute)
+	cfg := mustSLO(t, `{"rules": [{"name": "errs", "window": "10s", "max": 0,
+	  "value": {"metric": "errs_total", "stat": "delta"}}]}`)
+	var fired []SLOBreach
+	d := NewWatchdog(s, cfg, func(b SLOBreach) { fired = append(fired, b) })
+
+	clk.Advance(time.Second)
+	s.Tick()
+	if tr := d.Evaluate(clk.Now()); len(tr) != 0 {
+		t.Fatalf("single sample produced transitions: %+v", tr)
+	}
+	clk.Advance(time.Second)
+	s.Tick()
+	if tr := d.Evaluate(clk.Now()); len(tr) != 0 {
+		t.Fatalf("zero delta produced transitions: %+v", tr)
+	}
+
+	errs.Add(3)
+	clk.Advance(time.Second)
+	s.Tick()
+	tr := d.Evaluate(clk.Now())
+	if len(tr) != 1 || tr[0].Recovered {
+		t.Fatalf("breach transitions = %+v, want one non-recovered", tr)
+	}
+	if tr[0].Rule != "errs" || tr[0].Value != 3 || tr[0].Threshold != 0 || tr[0].Bound != "max" {
+		t.Fatalf("breach = %+v", tr[0])
+	}
+	// Still breached on the next tick: no second transition.
+	clk.Advance(time.Second)
+	s.Tick()
+	if tr := d.Evaluate(clk.Now()); len(tr) != 0 {
+		t.Fatalf("steady breach re-fired: %+v", tr)
+	}
+	st := d.Status()
+	if len(st) != 1 || !st[0].Breached || !st[0].Evaluated {
+		t.Fatalf("status during breach = %+v", st)
+	}
+
+	// Let the violation age out of the 10s window.
+	clk.Advance(15 * time.Second)
+	s.Tick()
+	clk.Advance(time.Second)
+	s.Tick()
+	tr = d.Evaluate(clk.Now())
+	if len(tr) != 1 || !tr[0].Recovered {
+		t.Fatalf("recovery transitions = %+v, want one recovered", tr)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("onBreach fired %d times, want 2 (breach + recovery)", len(fired))
+	}
+	st = d.Status()
+	if len(st) != 1 || st[0].Breached {
+		t.Fatalf("status after recovery = %+v", st)
+	}
+}
+
+// TestWatchdogByExpansion: a By rule checks each observed label value
+// independently — only the violating target breaches.
+func TestWatchdogByExpansion(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("fails_total", "test", Labels{"solver": "greedy"})
+	reg.Counter("fails_total", "test", Labels{"solver": "dp-tree"})
+	s, clk := newTestSampler(reg, time.Second, time.Minute)
+	cfg := mustSLO(t, `{"rules": [{"name": "fails", "window": "30s", "max": 0, "by": "solver",
+	  "value": {"metric": "fails_total", "stat": "delta"}}]}`)
+	d := NewWatchdog(s, cfg, nil)
+
+	clk.Advance(time.Second)
+	s.Tick()
+	a.Add(2)
+	clk.Advance(time.Second)
+	s.Tick()
+	tr := d.Evaluate(clk.Now())
+	if len(tr) != 1 {
+		t.Fatalf("transitions = %+v, want exactly the greedy target", tr)
+	}
+	if tr[0].Target != "greedy" || tr[0].By != "solver" {
+		t.Fatalf("breach target = %+v", tr[0])
+	}
+	st := d.Status()
+	if len(st) != 2 {
+		t.Fatalf("status has %d targets, want 2", len(st))
+	}
+	for _, r := range st {
+		wantBreach := r.Target == "greedy"
+		if r.Breached != wantBreach {
+			t.Fatalf("target %q breached = %v", r.Target, r.Breached)
+		}
+	}
+}
+
+// TestWatchdogRatioSkipsZeroDenominator: an idle system (denominator 0)
+// never breaches a ratio rule — the rule reads "not evaluated".
+func TestWatchdogRatioSkipsZeroDenominator(t *testing.T) {
+	reg := NewRegistry()
+	errs := reg.Counter("errs_total", "test", nil)
+	total := reg.Counter("reqs_total", "test", nil)
+	s, clk := newTestSampler(reg, time.Second, time.Minute)
+	cfg := mustSLO(t, `{"rules": [{"name": "err-ratio", "window": "30s", "max": 0.5,
+	  "value": {"stat": "ratio",
+	    "num": {"metric": "errs_total", "stat": "delta"},
+	    "den": {"metric": "reqs_total", "stat": "delta"}}}]}`)
+	d := NewWatchdog(s, cfg, nil)
+
+	clk.Advance(time.Second)
+	s.Tick()
+	clk.Advance(time.Second)
+	s.Tick()
+	if tr := d.Evaluate(clk.Now()); len(tr) != 0 {
+		t.Fatalf("idle ratio produced transitions: %+v", tr)
+	}
+	st := d.Status()
+	if len(st) != 1 || st[0].Evaluated {
+		t.Fatalf("idle ratio status = %+v, want unevaluated", st)
+	}
+
+	// Traffic with all errors: ratio 1.0 > 0.5 breaches.
+	errs.Add(4)
+	total.Add(4)
+	clk.Advance(time.Second)
+	s.Tick()
+	tr := d.Evaluate(clk.Now())
+	if len(tr) != 1 || tr[0].Value != 1 {
+		t.Fatalf("ratio breach = %+v, want value 1", tr)
+	}
+}
+
+// TestWatchdogMinBound: min rules breach downward (quality ratio below
+// its guarantee).
+func TestWatchdogMinBound(t *testing.T) {
+	reg := NewRegistry()
+	q := reg.Gauge("quality_ratio", "test", nil)
+	s, clk := newTestSampler(reg, time.Second, time.Minute)
+	cfg := mustSLO(t, `{"rules": [{"name": "quality", "window": "30s", "min": 0.9,
+	  "value": {"metric": "quality_ratio", "stat": "last"}}]}`)
+	d := NewWatchdog(s, cfg, nil)
+
+	q.Set(0.95)
+	clk.Advance(time.Second)
+	s.Tick()
+	if tr := d.Evaluate(clk.Now()); len(tr) != 0 {
+		t.Fatalf("healthy quality produced transitions: %+v", tr)
+	}
+	q.Set(0.5)
+	clk.Advance(time.Second)
+	s.Tick()
+	tr := d.Evaluate(clk.Now())
+	if len(tr) != 1 || tr[0].Bound != "min" || tr[0].Threshold != 0.9 {
+		t.Fatalf("min-bound breach = %+v", tr)
+	}
+}
+
+// TestWatchdogTimeAtDwell: a breaker-open dwell rule breaches once the
+// gauge has sat at the open state longer than the bound.
+func TestWatchdogTimeAtDwell(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("breaker_state", "test", Labels{"solver": "greedy"})
+	s, clk := newTestSampler(reg, time.Second, time.Minute)
+	cfg := mustSLO(t, `{"rules": [{"name": "dwell", "window": "30s", "max": 3,
+	  "value": {"metric": "breaker_state", "stat": "time_at", "equals": 2}}]}`)
+	d := NewWatchdog(s, cfg, nil)
+
+	g.Set(2) // open
+	var transitions []SLOBreach
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Second)
+		s.Tick()
+		transitions = append(transitions, d.Evaluate(clk.Now())...)
+	}
+	if len(transitions) != 1 || transitions[0].Recovered {
+		t.Fatalf("dwell transitions = %+v, want one breach", transitions)
+	}
+	if transitions[0].Value <= 3 {
+		t.Fatalf("dwell value = %v, want > 3 seconds", transitions[0].Value)
+	}
+}
+
+// TestWatchdogNilSafe: a nil watchdog evaluates to nothing.
+func TestWatchdogNilSafe(t *testing.T) {
+	var d *Watchdog
+	if tr := d.Evaluate(time.Now()); tr != nil {
+		t.Fatal("nil watchdog returned transitions")
+	}
+	if st := d.Status(); st != nil {
+		t.Fatal("nil watchdog returned status")
+	}
+}
