@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint lint-fix-check audit smoke chaos-smoke events-smoke series-smoke clean
+.PHONY: all build test test-short race race-hot cover bench bench-json bench-diff experiments fuzz fuzz-smoke fmt vet lint lint-fix-check audit smoke chaos-smoke events-smoke series-smoke session-smoke clean
 
 all: build test
 
@@ -20,10 +20,10 @@ race:
 
 # Focused -race pass over the concurrency-heavy packages (parallel
 # portfolio, concurrent greedy scoring, batch worker pool, event bus,
-# tracer, admission engine and breakers); -count=2 defeats the test
-# cache so the schedule differs between runs.
+# tracer, admission engine, breakers and the warm-session registry);
+# -count=2 defeats the test cache so the schedule differs between runs.
 race-hot:
-	$(GO) test -race -count=2 ./internal/core/ ./internal/view/ ./internal/server/ ./internal/telemetry/ ./internal/admission/
+	$(GO) test -race -count=2 ./internal/core/ ./internal/view/ ./internal/server/ ./internal/session/ ./internal/telemetry/ ./internal/admission/
 
 cover:
 	$(GO) test -cover ./...
@@ -31,7 +31,7 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every paper table/figure/theorem experiment (E1..E19).
+# Regenerate every paper table/figure/theorem experiment (E1..E20).
 experiments:
 	$(GO) run ./cmd/benchrunner
 
@@ -130,6 +130,13 @@ events-smoke:
 # (docs/OBSERVABILITY.md "Rolling time-series store").
 series-smoke:
 	./scripts/series_smoke.sh
+
+# End-to-end warm-session check: boots delpropd, registers a session,
+# solves twice warm and asserts the hit counter moved, evicts and asserts
+# the follow-up solve misses with 404 (docs/OPERATIONS.md "Warm
+# sessions").
+session-smoke:
+	./scripts/session_smoke.sh
 
 clean:
 	$(GO) clean -testcache

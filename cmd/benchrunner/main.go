@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment by ID (E1..E19)")
+	exp := flag.String("exp", "", "run a single experiment by ID (E1..E20)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "write a structured benchkit capture (BENCH_*.json) to this path")
 	repeat := flag.Int("repeat", 1, "timed repetitions per experiment (first prints output, the rest are silent)")

@@ -86,6 +86,17 @@ func runBatch(dbPath, qPath, dPath string, workers int, opts options) error {
 		defer cancel()
 	}
 
+	// -session builds the skeleton (inverted index, views, classification)
+	// once and specializes it per stanza — the CLI mirror of the server's
+	// POST /sessions warm path. Every worker shares the one skeleton; the
+	// specialized problems only carry their own delta and weights.
+	var skel *core.Problem
+	if opts.session {
+		if skel, err = core.NewProblem(db, queries, nil); err != nil {
+			return err
+		}
+	}
+
 	results := make([]batchItem, len(stanzas))
 	jobs := make(chan int, len(stanzas))
 	for i := range stanzas {
@@ -99,7 +110,12 @@ func runBatch(dbPath, qPath, dPath string, workers int, opts options) error {
 			defer wg.Done()
 			for idx := range jobs {
 				var buf strings.Builder
-				err := solveStanza(ctx, &buf, db, queries, stanzas[idx], opts)
+				var err error
+				if skel != nil {
+					err = solveWarmStanza(ctx, &buf, skel, stanzas[idx], opts)
+				} else {
+					err = solveStanza(ctx, &buf, db, queries, stanzas[idx], opts)
+				}
 				results[idx] = batchItem{text: buf.String(), err: err}
 			}
 		}()
@@ -135,6 +151,25 @@ func solveStanza(ctx context.Context, w io.Writer, db *relation.Instance, querie
 	if err != nil {
 		return err
 	}
+	return solveProblem(ctx, w, p, opts)
+}
+
+// solveWarmStanza is solveStanza against a prebuilt skeleton: only the
+// stanza's delta is parsed and the shared views are reused as-is.
+func solveWarmStanza(ctx context.Context, w io.Writer, skel *core.Problem, stanza string, opts options) error {
+	delta, err := textio.ParseDeletions(stanza, skel.Queries)
+	if err != nil {
+		return err
+	}
+	p, err := skel.Specialize(delta)
+	if err != nil {
+		return err
+	}
+	return solveProblem(ctx, w, p, opts)
+}
+
+// solveProblem runs the solver and writes the shared per-item report.
+func solveProblem(ctx context.Context, w io.Writer, p *core.Problem, opts options) error {
 	solver, err := pickSolver(opts.solver, p)
 	if err != nil {
 		return err

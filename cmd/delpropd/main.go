@@ -12,6 +12,7 @@
 //	         [-events-buffer 256] [-events-heartbeat 15s]
 //	         [-series-interval 5s] [-series-window 15m] [-slo slo.json]
 //	         [-postmortems 64] [-postmortems-slow 0s]
+//	         [-session-ttl 15m] [-max-sessions 64]
 //	         [-fault-solvers]
 //
 // Endpoints (JSON; see internal/server):
@@ -21,6 +22,9 @@
 //	POST /classify    {database, queries}
 //	POST /lineage     {database, queries, tuple}
 //	POST /resilience  {database, queries, resilienceBudget?, timeout?}
+//	POST /sessions    {database, queries, tenant?} → warm session id
+//	POST /sessions/{id}/solve {deletions, solver?, weights?, timeout?, tenant?}
+//	DELETE /sessions/{id}
 //	GET  /healthz
 //	GET  /metrics
 //	GET  /debug/traces
@@ -29,6 +33,7 @@
 //	GET  /debug/slo              (SLO watchdog rule standings)
 //	GET  /debug/postmortems      (flight-recorder bundle listing)
 //	GET  /debug/postmortems/{id} (one full postmortem bundle)
+//	GET  /debug/sessions         (resident warm sessions with hit counts)
 //	GET  /events      (Server-Sent Events: live solve/admission/breaker stream)
 //
 // GET /events streams the live telemetry bus (solve lifecycle, phase
@@ -52,6 +57,17 @@
 // breaker states and process counters — into a bounded flight-recorder
 // ring (-postmortems) served at GET /debug/postmortems. Hard solve
 // failures and solves slower than -postmortems-slow capture bundles too.
+//
+// POST /sessions registers an instance once and returns a session id;
+// POST /sessions/{id}/solve then serves successive deletion requests
+// against the warm state (parsed problem, materialized views, memoized
+// classification, cached lower-bound certificates) without re-parsing or
+// re-materializing anything. Sessions idle out after -session-ttl (each
+// warm solve extends the clock), at most -max-sessions stay resident
+// (LRU eviction), and a background janitor sweeps expired entries.
+// GET /debug/sessions lists what is warm. During drain, registrations and
+// warm solves are refused while in-flight warm solves finish against
+// their pinned entries. docs/OPERATIONS.md covers the lifecycle.
 //
 // With -ops-addr set, a second listener serves the operational surface
 // (/metrics, /debug/traces, /debug/breakers, /events, /healthz, and
@@ -186,6 +202,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	sloPath := fs.String("slo", "", "SLO watchdog rules file (JSON, docs/FORMATS.md); breaches publish slo_breach events, bump delprop_slo_breaches_total and capture postmortems. Empty disables the watchdog")
 	postmortems := fs.Int("postmortems", server.DefaultPostmortemCapacity, "postmortem flight-recorder ring size for GET /debug/postmortems (negative disables capture)")
 	postmortemSlow := fs.Duration("postmortems-slow", 0, "successful solves at or over this duration also capture a postmortem (0 derives the strictest -slo latency bound, negative disables slow-solve capture)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle lifetime of a warm session registered via POST /sessions; each warm solve extends it (0 = default)")
+	maxSessions := fs.Int("max-sessions", 0, "cap on resident warm sessions; the least-recently-used idle session is evicted at capacity (0 = default)")
 	faultSolvers := fs.Bool("fault-solvers", false, "register chaos solvers (chaos-flaky, chaos-block, chaos-panic, chaos-ignore) for fault-injection smoke tests; never in production")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -240,6 +258,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		SLO:                 sloCfg,
 		PostmortemCapacity:  *postmortems,
 		PostmortemSlowSolve: *postmortemSlow,
+		SessionTTL:          *sessionTTL,
+		MaxSessions:         *maxSessions,
 		Logger:              logger,
 	})
 	srv := &http.Server{
@@ -290,6 +310,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// Drive the rolling time-series sampler (and with it the SLO
 	// watchdog) for the daemon's lifetime; it stops with ctx at drain.
 	go app.RunSampler(ctx)
+
+	// Expire idle warm sessions in the background so a quiet registry
+	// releases its memory without waiting for the next registration.
+	go app.RunSessionJanitor(ctx)
 
 	// SIGHUP hot-reloads the admission policy without dropping in-flight
 	// quota accounting (tenants that keep their name keep their slots). A

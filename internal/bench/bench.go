@@ -84,7 +84,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 
 // Experiment is one reproducible experiment.
 type Experiment struct {
-	// ID is the experiment identifier from DESIGN.md (E1..E19).
+	// ID is the experiment identifier from DESIGN.md (E1..E20).
 	ID string
 	// Artifact names the paper table/figure/theorem being reproduced.
 	Artifact string
@@ -141,6 +141,7 @@ func All() []Experiment {
 		{ID: "E17", Artifact: "View vs source side-effect tradeoff (extension study)", Run: runTradeoff},
 		{ID: "E18", Artifact: "Combined complexity: query-width sweep (extension study)", Run: runCombined},
 		{ID: "E19", Artifact: "Parallel solve engine: greedy scaling curve + portfolio race (extension study)", Run: runParallelSpeedup},
+		{ID: "E20", Artifact: "Warm sessions: cold vs warm solve stream + determinism contract (extension study)", Run: runSessionWarm},
 	}
 }
 

@@ -48,8 +48,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Error("E99 found")
 	}
-	if len(All()) != 19 {
-		t.Errorf("experiments = %d, want 19", len(All()))
+	if len(All()) != 20 {
+		t.Errorf("experiments = %d, want 20", len(All()))
 	}
 }
 

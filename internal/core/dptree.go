@@ -129,7 +129,21 @@ func BuildPivotForest(p *Problem) (*PivotForest, error) {
 		}
 		comps[root] = append(comps[root], i)
 	}
-	sort.Strings(compOrder)
+	// The union-find representative is an arbitrary member (union order
+	// follows map iteration), so sorting by it would order components
+	// differently run to run. Sort by each component's minimum tuple key —
+	// canonical whatever the union order — so the forest layout, and with
+	// it the solution's deletion order, is identical across runs.
+	canon := make(map[string]string)
+	for _, r := range refs {
+		for k := range r.tuples {
+			root := find(k)
+			if c, ok := canon[root]; !ok || k < c {
+				canon[root] = k
+			}
+		}
+	}
+	sort.Slice(compOrder, func(a, b int) bool { return canon[compOrder[a]] < canon[compOrder[b]] })
 
 	forest := &PivotForest{byKey: make(map[string]*pivotNode)}
 	for _, root := range compOrder {

@@ -122,7 +122,7 @@ func shardBounds(n, nw, w int) (lo, hi int) {
 func (g *Greedy) solveIncremental(ctx context.Context, p *Problem) (*Solution, error) {
 	st := StatsFrom(ctx)
 	cands := p.CandidateTuples()
-	m := view.NewMaintainer(p.Views)
+	m := p.NewMaintainer()
 	deltaRefs := p.Delta.Refs()
 	var chosen []relation.TupleID
 

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"delprop/internal/classify"
 	"delprop/internal/cq"
 	"delprop/internal/relation"
 	"delprop/internal/view"
@@ -34,6 +36,29 @@ type Problem struct {
 
 	inverted      *view.InvertedIndex
 	keyPreserving bool
+
+	// class and maint are lazily computed artifacts shared by every
+	// Specialize derivative of the same skeleton: classification is a
+	// property of (queries, schemas) and the maintainer prototype a
+	// property of the materialized views, so neither depends on Delta or
+	// Weights. Both are created by NewProblem; Problem literals in tests
+	// fall back to computing on demand without memoization.
+	class *classification
+	maint *maintainerProto
+}
+
+// classification memoizes per-query classify verdicts for a skeleton.
+type classification struct {
+	once  sync.Once
+	props []classify.Properties
+	err   error
+}
+
+// maintainerProto memoizes a fully-built join-tree maintainer; callers
+// take isolated copies via Maintainer.Clone, never the prototype itself.
+type maintainerProto struct {
+	once sync.Once
+	m    *view.Maintainer
 }
 
 // Construction errors.
@@ -79,7 +104,74 @@ func NewProblem(db *relation.Instance, queries []*cq.Query, delta *view.Deletion
 			p.keyPreserving = false
 		}
 	}
+	p.class = &classification{}
+	p.maint = &maintainerProto{}
 	return p, nil
+}
+
+// QueryProperties returns the classify verdict for every query, computed
+// once per skeleton and shared across Specialize derivatives — the solve
+// path must never re-run classification for a problem it already
+// classified.
+func (p *Problem) QueryProperties() ([]classify.Properties, error) {
+	compute := func() ([]classify.Properties, error) {
+		schemas := cq.InstanceSchemas(p.DB)
+		props := make([]classify.Properties, len(p.Queries))
+		for i, q := range p.Queries {
+			pr, err := classify.Analyze(q, schemas, nil)
+			if err != nil {
+				return nil, err
+			}
+			props[i] = pr
+		}
+		return props, nil
+	}
+	if p.class == nil {
+		// Problem literal (tests): no shared holder to memoize into.
+		return compute()
+	}
+	p.class.once.Do(func() {
+		p.class.props, p.class.err = compute()
+	})
+	return p.class.props, p.class.err
+}
+
+// NewMaintainer returns an isolated incremental maintainer over the
+// problem's views. The O(provenance) build happens once per skeleton; each
+// call pays only the O(state) Clone so concurrent solves never share
+// mutable maintainer state.
+func (p *Problem) NewMaintainer() *view.Maintainer {
+	if p.maint == nil {
+		return view.NewMaintainer(p.Views)
+	}
+	p.maint.once.Do(func() {
+		p.maint.m = view.NewMaintainer(p.Views)
+	})
+	return p.maint.m.Clone()
+}
+
+// Specialize derives a new Problem against the same skeleton — database,
+// queries, materialized views, provenance index, classification and
+// maintainer prototype are shared by pointer — with a fresh deletion
+// request and no weights. It is the warm-session counterpart of
+// NewProblem: validation of delta against the views is the only work done.
+func (p *Problem) Specialize(delta *view.Deletion) (*Problem, error) {
+	if delta == nil {
+		delta = view.NewDeletion()
+	}
+	if err := delta.Validate(p.Views); err != nil {
+		return nil, err
+	}
+	return &Problem{
+		DB:            p.DB,
+		Queries:       p.Queries,
+		Views:         p.Views,
+		Delta:         delta,
+		inverted:      p.inverted,
+		keyPreserving: p.keyPreserving,
+		class:         p.class,
+		maint:         p.maint,
+	}, nil
 }
 
 // IsKeyPreserving reports whether every query of the problem is

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"delprop/internal/classify"
-	"delprop/internal/cq"
 	"delprop/internal/relation"
 )
 
@@ -47,11 +45,14 @@ func (u *Unidimensional) Applicable(p *Problem) error {
 	if !q.IsSelfJoinFree() {
 		return fmt.Errorf("core: unidimensional requires a self-join-free query")
 	}
-	props, err := classify.Analyze(q, cq.InstanceSchemas(p.DB), nil)
+	// The memoized per-skeleton verdict: the auto picker probes Applicable
+	// and then Solve re-checks it, so going through QueryProperties keeps
+	// classification at one run per problem instead of one per call.
+	props, err := p.QueryProperties()
 	if err != nil {
 		return err
 	}
-	if !props.HeadDomination {
+	if !props[0].HeadDomination {
 		return ErrNotHeadDominated
 	}
 	if _, ok := p.Answer(p.Delta.Refs()[0]); !ok {

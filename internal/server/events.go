@@ -30,6 +30,12 @@ const (
 	// and its return inside it.
 	eventSLOBreach    = "slo_breach"
 	eventSLORecovered = "slo_recovered"
+	// Session registry lifecycle (session.go): warm lookups served from a
+	// resident entry, lookups that found nothing warm, and removals (the
+	// "reason" field carries ttl/capacity/explicit/drain/error).
+	eventSessionHit     = "session_hit"
+	eventSessionMiss    = "session_miss"
+	eventSessionEvicted = "session_evicted"
 	// Stream-control events are synthesized per subscriber by the SSE
 	// handler, outside the bus (so type filters never starve a consumer
 	// of its keep-alives or its drop accounting).

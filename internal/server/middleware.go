@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"delprop/internal/admission"
+	"delprop/internal/session"
 	"delprop/internal/telemetry"
 )
 
@@ -23,8 +24,23 @@ type Config struct {
 	// MaxSolveTimeout caps the request's own timeout field: clients may
 	// ask for less time than the default, never more than this.
 	MaxSolveTimeout time.Duration
-	// MaxBodyBytes bounds request bodies (http.MaxBytesReader).
+	// MaxBodyBytes bounds request bodies (http.MaxBytesReader) on the
+	// classic compute endpoints (/solve, /classify, /lineage, ...).
 	MaxBodyBytes int64
+	// MaxSessionBodyBytes bounds POST /sessions registration bodies. A
+	// registration uploads a whole database, so its limit is much larger
+	// than the solve-sized MaxBodyBytes.
+	MaxSessionBodyBytes int64
+	// MaxSessionSolveBodyBytes bounds POST /sessions/{id}/solve bodies. A
+	// warm deletion request names view tuples only — no database — so its
+	// limit is much smaller than MaxBodyBytes: a session solve cannot
+	// smuggle a database-sized payload.
+	MaxSessionSolveBodyBytes int64
+	// SessionTTL is the idle lifetime of a registered session; reads
+	// extend it (see internal/session).
+	SessionTTL time.Duration
+	// MaxSessions bounds resident sessions (LRU eviction beyond it).
+	MaxSessions int
 	// MaxConcurrent bounds simultaneously-running compute requests; excess
 	// requests enter the graceful-degradation ladder (bounded queue for
 	// high-priority tenants, downgrade to the cheap solver, then 429).
@@ -107,19 +123,24 @@ type Config struct {
 
 // Defaults applied by withDefaults.
 const (
-	DefaultSolveTimeout       = 30 * time.Second
-	DefaultMaxSolveTimeout    = 2 * time.Minute
-	DefaultMaxBodyBytes       = 4 << 20
-	DefaultMaxConcurrent      = 64
-	DefaultResilienceBudget   = 24
-	DefaultMaxResilienceLimit = 28
-	DefaultMaxBatchItems      = 64
-	DefaultMaxBatchWorkers    = 4
-	DefaultShedQueueDepth     = 16
-	DefaultShedQueueWait      = 500 * time.Millisecond
-	DefaultDegradedLanes      = 4
-	DefaultEventBuffer        = telemetry.DefaultSubscriberBuffer
-	DefaultEventHeartbeat     = 15 * time.Second
+	DefaultSolveTimeout    = 30 * time.Second
+	DefaultMaxSolveTimeout = 2 * time.Minute
+	DefaultMaxBodyBytes    = 4 << 20
+	// DefaultMaxSessionBodyBytes admits database uploads on POST /sessions
+	// (16x the solve limit); DefaultMaxSessionSolveBodyBytes bounds warm
+	// deletion requests, which carry no database text.
+	DefaultMaxSessionBodyBytes      = 64 << 20
+	DefaultMaxSessionSolveBodyBytes = 1 << 20
+	DefaultMaxConcurrent            = 64
+	DefaultResilienceBudget         = 24
+	DefaultMaxResilienceLimit       = 28
+	DefaultMaxBatchItems            = 64
+	DefaultMaxBatchWorkers          = 4
+	DefaultShedQueueDepth           = 16
+	DefaultShedQueueWait            = 500 * time.Millisecond
+	DefaultDegradedLanes            = 4
+	DefaultEventBuffer              = telemetry.DefaultSubscriberBuffer
+	DefaultEventHeartbeat           = 15 * time.Second
 	// DefaultPostmortemCapacity bounds the flight recorder's ring: deep
 	// enough to cover an incident review, bounded because every bundle
 	// pins a trace, a stats snapshot and an event slice.
@@ -145,6 +166,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxSessionBodyBytes <= 0 {
+		c.MaxSessionBodyBytes = DefaultMaxSessionBodyBytes
+	}
+	if c.MaxSessionSolveBodyBytes <= 0 {
+		c.MaxSessionSolveBodyBytes = DefaultMaxSessionSolveBodyBytes
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = session.DefaultTTL
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = session.DefaultMaxEntries
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = DefaultMaxConcurrent
@@ -233,6 +266,9 @@ type api struct {
 	journal     *telemetry.Journal
 	postmortems *postmortemRing
 	recent      *recentSolves
+	// sessions is the warm-solve registry behind POST /sessions (see
+	// internal/session and session.go in this package).
+	sessions *session.Registry
 	// slowSolve is the resolved over-SLO solve capture threshold
 	// (Config.PostmortemSlowSolve, possibly derived; 0 disables).
 	slowSolve time.Duration
@@ -310,11 +346,15 @@ func (a *api) instrument(next http.Handler) http.Handler {
 	})
 }
 
-// limitBody bounds the request body; oversized bodies surface as
-// *http.MaxBytesError during decode and map to 413.
-func (a *api) limitBody(next http.Handler) http.Handler {
+// limitBody bounds the request body to n bytes; oversized bodies surface
+// as *http.MaxBytesError during decode and map to 413. Each endpoint
+// class carries its own limit: solve-shaped payloads get
+// Config.MaxBodyBytes, session registrations (database uploads) the much
+// larger MaxSessionBodyBytes, and warm session solves the much smaller
+// MaxSessionSolveBodyBytes.
+func (a *api) limitBody(next http.Handler, n int64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, n)
 		next.ServeHTTP(w, r)
 	})
 }
@@ -446,5 +486,10 @@ func (a *api) queueForSlot(w http.ResponseWriter, r *http.Request, tenant string
 // cheap solver instead of shedding (solve and batch; classify, lineage and
 // resilience have no solver to swap).
 func (a *api) compute(h http.HandlerFunc, degradable bool) http.Handler {
-	return a.admit(a.limitBody(h), degradable)
+	return a.computeLimited(h, degradable, a.cfg.MaxBodyBytes)
+}
+
+// computeLimited is compute with a per-endpoint body limit.
+func (a *api) computeLimited(h http.HandlerFunc, degradable bool, bodyLimit int64) http.Handler {
+	return a.admit(a.limitBody(h, bodyLimit), degradable)
 }

@@ -64,6 +64,13 @@ const (
 
 	// SLO watchdog (series.go).
 	metricSLOBreaches = "delprop_slo_breaches_total"
+
+	// Warm session registry (session.go).
+	metricSessionHits      = "delprop_session_hits_total"
+	metricSessionMisses    = "delprop_session_misses_total"
+	metricSessionEvictions = "delprop_session_evictions_total"
+	metricSessionEntries   = "delprop_session_entries"
+	metricSessionWarmSolve = "delprop_session_warm_solve_seconds"
 )
 
 // qualityRatioBuckets lays out the approximation-ratio histogram: ratio 1
@@ -115,6 +122,18 @@ func routeLabel(path string) string {
 		return "/debug/slo"
 	case "/events":
 		return "/events"
+	case "/sessions":
+		return "/sessions"
+	case "/debug/sessions":
+		return "/debug/sessions"
+	}
+	// Session ids are server-minted but still collapse to one series per
+	// sub-route.
+	if strings.HasPrefix(path, "/sessions/") {
+		if strings.HasSuffix(path, "/solve") {
+			return "/sessions/{id}/solve"
+		}
+		return "/sessions/{id}"
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"
@@ -481,6 +500,7 @@ func (s *Server) OpsHandler(enablePprof bool) http.Handler {
 	mux.HandleFunc("GET /debug/slo", a.handleSLO)
 	mux.HandleFunc("GET /debug/postmortems", a.handlePostmortems)
 	mux.HandleFunc("GET /debug/postmortems/{id}", a.handlePostmortem)
+	mux.HandleFunc("GET /debug/sessions", a.handleDebugSessions)
 	mux.HandleFunc("GET /events", a.handleEvents)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	if enablePprof {

@@ -34,6 +34,7 @@ import (
 	"delprop/internal/cq"
 	"delprop/internal/lineage"
 	"delprop/internal/relation"
+	"delprop/internal/session"
 	"delprop/internal/telemetry"
 	"delprop/internal/textio"
 	"delprop/internal/view"
@@ -71,6 +72,7 @@ func NewHandler(cfg Config) *Server {
 	a.registerBreakerMetrics()
 	a.registerEventMetrics()
 	a.registerBuildInfo()
+	a.initSessions()
 	a.initSeries()
 	mux := http.NewServeMux()
 	// solve and batch are degradable: the overload ladder may downgrade
@@ -81,6 +83,15 @@ func NewHandler(cfg Config) *Server {
 	mux.Handle("POST /classify", a.compute(a.handleClassify, false))
 	mux.Handle("POST /lineage", a.compute(a.handleLineage, false))
 	mux.Handle("POST /resilience", a.compute(a.handleResilience, false))
+	// Session registration uploads a database, so it runs under its own
+	// (much larger) body limit; warm session solves name view tuples only
+	// and get a much smaller one — a deletion request cannot smuggle a
+	// database-sized payload. Warm solves are degradable like /solve.
+	mux.Handle("POST /sessions", a.computeLimited(a.handleSessionRegister, false, a.cfg.MaxSessionBodyBytes))
+	mux.Handle("POST /sessions/{id}/solve", a.computeLimited(a.handleSessionSolve, true, a.cfg.MaxSessionSolveBodyBytes))
+	// Eviction is a cheap registry operation, not compute.
+	mux.HandleFunc("DELETE /sessions/{id}", a.handleSessionDelete)
+	mux.HandleFunc("GET /debug/sessions", a.handleDebugSessions)
 	// Liveness and the observability reads stay outside the shedder: a
 	// saturated server must still answer probes and scrapes.
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
@@ -111,6 +122,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // calling http.Server.Shutdown.
 func (s *Server) SetDraining(v bool) {
 	s.api.draining.Store(v)
+	// The session registry mirrors the drain flag: new registrations and
+	// warm acquisitions are refused while in-flight warm solves run to
+	// completion against their pinned entries.
+	s.api.sessions.SetDraining(v)
 	g := s.api.cfg.Metrics.Gauge(metricDraining,
 		"1 once SIGTERM drain has begun, 0 while serving normally.", nil)
 	if v {
@@ -158,6 +173,31 @@ func (s *Server) Sampler() *telemetry.Sampler { return s.api.sampler }
 // behavior (per-scrape runtime gauges, lifetime-histogram Retry-After,
 // no windowed data).
 func (s *Server) RunSampler(ctx context.Context) { s.api.sampler.Run(ctx) }
+
+// Sessions returns the warm-solve session registry behind POST /sessions
+// (delpropd holds it for the janitor; tests drive Sweep directly).
+func (s *Server) Sessions() *session.Registry { return s.api.sessions }
+
+// RunSessionJanitor sweeps expired sessions at a quarter of the session
+// TTL until ctx is done. delpropd runs it in a goroutine; embedders that
+// skip it still evict lazily (an expired entry misses on its next read)
+// but idle entries linger until then.
+func (s *Server) RunSessionJanitor(ctx context.Context) {
+	interval := s.api.cfg.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			s.api.sessions.Sweep(now)
+		}
+	}
+}
 
 // InstanceRequest is the common instance payload: textio database, datalog
 // queries, and (for solve) a textio deletion request.
@@ -224,6 +264,11 @@ type SolveResponse struct {
 	// the policy rule that fired.
 	Degraded     bool   `json:"degraded,omitempty"`
 	DegradedRule string `json:"degradedRule,omitempty"`
+	// Session names the warm session that served the solve and Warm marks
+	// it as amortized (POST /sessions/{id}/solve); both absent on the
+	// cold /solve path.
+	Session string `json:"session,omitempty"`
+	Warm    bool   `json:"warm,omitempty"`
 }
 
 // Machine-readable error codes (see docs/OPERATIONS.md for the taxonomy).
@@ -240,6 +285,8 @@ const (
 	codeSolverUnstoppable = "solver_unstoppable"
 	codeBatchTooLarge     = "batch_too_large"
 	codeSolverDenied      = "solver_denied"
+	codeSessionNotFound   = "session_not_found"
+	codeSessionLimit      = "session_limit"
 )
 
 type errorResponse struct {
@@ -296,21 +343,37 @@ func (a *api) tenantShaping(ctx context.Context, bodyTenant string) (string, *ad
 	return tenant, pol, info
 }
 
-// solveDeadline resolves the request's timeout field against the
-// configured default and cap.
-func (a *api) solveDeadline(spec string) (time.Duration, error) {
-	if spec == "" {
-		return a.cfg.DefaultSolveTimeout, nil
-	}
-	d, err := time.ParseDuration(spec)
-	if err != nil {
-		return 0, fmt.Errorf("timeout: %w", err)
-	}
-	if d <= 0 {
-		return 0, fmt.Errorf("timeout: must be positive, got %v", d)
+// solveDeadline resolves a request's timeout spec against the configured
+// default, the server-wide cap and the tenant's deadline cap, in one
+// place so no caller can recombine them inconsistently. The contract:
+//
+//   - empty spec means the server default, NOT "no limit" — and the
+//     default is still subject to the tenant cap below;
+//   - an explicit "0" (or any non-positive duration) is an error, never
+//     "unlimited": a spec that parses to zero must not outlive a tenant
+//     whose cap is finite;
+//   - every resolution is the min of (spec-or-default, MaxSolveTimeout,
+//     tenant MaxDeadline): clamps only ever tighten, so a tenant's cap is
+//     never widened by any spec.
+//
+// pol may be nil (no admission policy in play).
+func (a *api) solveDeadline(spec string, pol *admission.TenantPolicy) (time.Duration, error) {
+	d := a.cfg.DefaultSolveTimeout
+	if spec != "" {
+		parsed, err := time.ParseDuration(spec)
+		if err != nil {
+			return 0, fmt.Errorf("timeout: %w", err)
+		}
+		if parsed <= 0 {
+			return 0, fmt.Errorf("timeout: must be positive, got %v", parsed)
+		}
+		d = parsed
 	}
 	if d > a.cfg.MaxSolveTimeout {
 		d = a.cfg.MaxSolveTimeout
+	}
+	if pol != nil && pol.MaxDeadline > 0 && d > pol.MaxDeadline {
+		d = pol.MaxDeadline
 	}
 	return d, nil
 }
@@ -453,19 +516,68 @@ func (a *api) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// solveInstance runs one solve end to end — parse, materialize, classify,
-// supervised solve, evaluate — under ctx plus the request's own deadline,
-// recording traces, metrics and the structured solve log line. It is the
-// shared engine behind POST /solve (ctx = the request context) and each
-// POST /solve/batch item (ctx = the batch context, reqID = "<batch>.<i>").
+// solvePrep produces the engine's problem under the "parse" and "views"
+// trace spans: the cold path parses text and materializes views, the warm
+// session path parses only the deletion request and specializes a cached
+// skeleton. phase is the engine's span-closing callback (it also emits
+// the live phase event).
+type solvePrep func(tr *telemetry.Trace, phase func(name, solverName string, end func())) (*core.Problem, *solveError)
+
+// solveSource describes one solve for the engine: the requested solver
+// and timeout, the body's tenant hint, how to obtain the problem, and —
+// for warm solves — the session entry serving it.
+type solveSource struct {
+	requested string // requested solver name, "auto" resolved by the caller
+	timeout   string // the request's timeout spec
+	tenant    string // body/session tenant hint for tenantShaping
+	sessionID string // non-empty marks a warm session solve
+	entry     *session.Entry
+	prep      solvePrep
+}
+
+// solveInstance runs one cold solve end to end — parse, materialize,
+// classify, supervised solve, evaluate — under ctx plus the request's own
+// deadline, recording traces, metrics and the structured solve log line.
+// It is the path behind POST /solve (ctx = the request context) and each
+// POST /solve/batch item (ctx = the batch context, reqID = "<batch>.<i>");
+// POST /sessions/{id}/solve shares the engine with a warm solveSource.
 func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequest) (*SolveResponse, *solveError) {
-	deadline, err := a.solveDeadline(req.Timeout)
+	requested := req.Solver
+	if requested == "" {
+		requested = "auto"
+	}
+	return a.runInstance(ctx, reqID, solveSource{
+		requested: requested,
+		timeout:   req.Timeout,
+		tenant:    req.Tenant,
+		prep: func(tr *telemetry.Trace, phase func(name, solverName string, end func())) (*core.Problem, *solveError) {
+			endParse := tr.Span("parse")
+			db, queries, delta, err := parseInstance(req)
+			phase("parse", requested, endParse)
+			if err != nil {
+				return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
+			}
+			endViews := tr.Span("views")
+			p, err := materializeProblem(req, db, queries, delta)
+			phase("views", requested, endViews)
+			if err != nil {
+				return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
+			}
+			return p, nil
+		},
+	})
+}
+
+// runInstance is the shared solve engine: deadline resolution, tenant
+// shaping, classification-driven solver selection, breaker rerouting, the
+// supervised solve, evaluation and the full observability surface
+// (traces, metrics, events, flight recorder). Cold and warm paths differ
+// only in their solveSource.
+func (a *api) runInstance(ctx context.Context, reqID string, src solveSource) (*SolveResponse, *solveError) {
+	tenant, pol, info := a.tenantShaping(ctx, src.tenant)
+	deadline, err := a.solveDeadline(src.timeout, pol)
 	if err != nil {
 		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
-	}
-	tenant, pol, info := a.tenantShaping(ctx, req.Tenant)
-	if pol != nil && pol.MaxDeadline > 0 && deadline > pol.MaxDeadline {
-		deadline = pol.MaxDeadline
 	}
 	// A request the overload ladder downgraded runs the tenant's cheap
 	// solver under its tightened deadline, whatever the body asked for.
@@ -488,19 +600,26 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		tr.SetAttr("degraded", "true")
 		tr.SetAttr("rule", degradedRule)
 	}
+	if src.sessionID != "" {
+		// Warm solves carry their session so /debug/traces can separate
+		// amortized solves from cold ones.
+		tr.SetAttr("session", src.sessionID)
+		tr.SetAttr("warm", "true")
+	}
 	traceID := tr.ID()
 
 	// Live egress: every event of this solve carries the request id and
 	// trace id, so a /events consumer can join the stream against the
 	// /solve response, the log line and /debug/traces.
-	requested := req.Solver
-	if requested == "" {
-		requested = "auto"
-	}
-	a.publishEvent(eventSolveStart, reqID, traceID, tenant, requested, map[string]any{
+	requested := src.requested
+	startFields := map[string]any{
 		"deadlineMs": float64(deadline) / float64(time.Millisecond),
 		"degraded":   degraded,
-	})
+	}
+	if src.sessionID != "" {
+		startFields["session"] = src.sessionID
+	}
+	a.publishEvent(eventSolveStart, reqID, traceID, tenant, requested, startFields)
 	phase := func(name string, solverName string, end func()) {
 		end()
 		a.publishEvent(eventPhase, reqID, traceID, tenant, solverName, map[string]any{
@@ -509,29 +628,18 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		})
 	}
 
-	endParse := tr.Span("parse")
-	db, queries, delta, err := parseInstance(req)
-	phase("parse", requested, endParse)
-	if err != nil {
-		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
-	}
-	endViews := tr.Span("views")
-	p, err := materializeProblem(req, db, queries, delta)
-	phase("views", requested, endViews)
-	if err != nil {
-		return nil, &solveError{http.StatusBadRequest, codeInvalidRequest, err}
+	p, serr := src.prep(tr, phase)
+	if serr != nil {
+		return nil, serr
 	}
 	// Instance-size attributes: |D| source tuples, m queries, Σ|ΔVi|
 	// requested view deletions.
-	dbSize, numQueries, deltaSize := db.Size(), len(queries), p.Delta.Len()
+	dbSize, numQueries, deltaSize := p.DB.Size(), len(p.Queries), p.Delta.Len()
 	tr.SetAttr("dbSize", strconv.Itoa(dbSize))
 	tr.SetAttr("queries", strconv.Itoa(numQueries))
 	tr.SetAttr("deltaSize", strconv.Itoa(deltaSize))
 
-	name := req.Solver
-	if name == "" {
-		name = "auto"
-	}
+	name := src.requested
 	// The allow-list matches the *requested* name ("auto" included), so
 	// operators reason about what clients ask for, not what the router
 	// resolves it to.
@@ -717,6 +825,8 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		Tenant:       tenant,
 		Degraded:     degraded,
 		DegradedRule: degradedRule,
+		Session:      src.sessionID,
+		Warm:         src.sessionID != "",
 	}
 	for _, id := range sol.Deleted {
 		resp.Deleted = append(resp.Deleted, toTupleJSON(id))
@@ -725,7 +835,17 @@ func (a *api) solveInstance(ctx context.Context, reqID string, req *InstanceRequ
 		resp.Collateral = append(resp.Collateral, ref.String())
 	}
 	if p.IsKeyPreserving() {
-		if lb, err := core.DualBound(p); err == nil {
+		// Warm solves consult the session's certificate cache first: the
+		// LP dual depends only on (delta, weights) over the shared
+		// skeleton, so repeat requests skip the LP entirely.
+		var lb float64
+		var lbErr error
+		if src.entry != nil {
+			lb, _, lbErr = src.entry.DualBound(p, session.DefaultMaxBoundCerts)
+		} else {
+			lb, lbErr = core.DualBound(p)
+		}
+		if lbErr == nil {
 			resp.LowerBound = &lb
 			// The LP-dual certificate also bounds the optimum for quality
 			// accounting (exact solvers may already have recorded a tighter
@@ -940,7 +1060,10 @@ func (a *api) handleResilience(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	deadline, err := a.solveDeadline(req.Timeout)
+	// Tenant caps tighten (never widen) the server-wide caps; the deadline
+	// clamp lives entirely inside solveDeadline.
+	_, pol, _ := a.tenantShaping(r.Context(), req.Tenant)
+	deadline, err := a.solveDeadline(req.Timeout, pol)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err, reqID)
 		return
@@ -952,14 +1075,8 @@ func (a *api) handleResilience(w http.ResponseWriter, r *http.Request) {
 	if budget > a.cfg.MaxResilienceBudget {
 		budget = a.cfg.MaxResilienceBudget
 	}
-	// Tenant caps tighten (never widen) the server-wide caps.
-	if _, pol, _ := a.tenantShaping(r.Context(), req.Tenant); pol != nil {
-		if pol.MaxResilienceBudget > 0 && budget > pol.MaxResilienceBudget {
-			budget = pol.MaxResilienceBudget
-		}
-		if pol.MaxDeadline > 0 && deadline > pol.MaxDeadline {
-			deadline = pol.MaxDeadline
-		}
+	if pol != nil && pol.MaxResilienceBudget > 0 && budget > pol.MaxResilienceBudget {
+		budget = pol.MaxResilienceBudget
 	}
 	db, err := textio.ParseDatabase(req.Database)
 	if err != nil {
